@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (a
+figure series or a theorem validation), times the regeneration via
+pytest-benchmark, and *prints the same rows the paper plots* so the log is
+the reproduction record.
+
+Environment knobs:
+
+- ``REPRO_BENCH_QUALITY`` — ``fast`` (default; minutes) or ``full``
+  (paper-scale; tens of minutes).  The printed tables in EXPERIMENTS.md
+  come from a ``full`` run.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.base import QUALITY_FAST, VALID_QUALITIES
+
+
+@pytest.fixture(scope="session")
+def quality() -> str:
+    value = os.environ.get("REPRO_BENCH_QUALITY", QUALITY_FAST)
+    if value not in VALID_QUALITIES:
+        raise ValueError(
+            f"REPRO_BENCH_QUALITY must be one of {VALID_QUALITIES}, got {value!r}"
+        )
+    return value
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer.
+
+    Simulation experiments take seconds to minutes; pedantic mode with one
+    round avoids pytest-benchmark's default multi-round calibration reruns.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

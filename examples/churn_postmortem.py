@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Postmortem diagnosis: recovering the telemetry of departed peers.
+
+Sec. 1's sharpest observation: "since peers tend to leave soon after the
+quality degrades, such statistics from departed peers may be the most
+useful to diagnose system outages."  This example runs the full-RLNC mode
+with *real telemetry payloads*: every peer packs synthetic streaming-health
+records (buffer level, loss, rebuffering flags) into coded blocks; churned
+peers take their buffers with them; and at the end we decode whatever the
+servers managed to collect and do the postmortem a network operator would:
+inspect the records of peers that already left.
+
+Run:  python examples/churn_postmortem.py
+"""
+
+import random
+
+import numpy as np
+
+from repro import Parameters, RecordCodec, StatsRecord
+from repro.coding.block import SegmentDescriptor
+from repro.core.system import CollectionSystem
+from repro.stats.records import synthesize_records
+
+SESSION_ID = 77
+PAYLOAD_BYTES = 128  # one codec block per coded payload
+PARAMS = Parameters(
+    n_peers=40,
+    arrival_rate=2.0,
+    gossip_rate=8.0,
+    deletion_rate=0.5,
+    normalized_capacity=1.5,
+    segment_size=4,
+    n_servers=2,
+    mean_lifetime=5.0,  # aggressive churn: mean lifetime 5 time units
+    mode="rlnc",
+    payload_bytes=PAYLOAD_BYTES,
+)
+
+codec = RecordCodec(block_size=PAYLOAD_BYTES)
+records_rng = random.Random(99)
+
+#: every telemetry record we handed to the collection system, keyed by
+#: (slot, generation) so the postmortem can compare recovered vs generated
+generated: dict = {}
+
+
+def telemetry_provider(descriptor: SegmentDescriptor) -> np.ndarray:
+    """Produce one segment's worth of telemetry for its source peer.
+
+    Peers whose slot is divisible by 4 emit *degraded* telemetry (low
+    buffer, high loss) — these are the peers most likely to quit, and whose
+    records matter most.
+    """
+    degraded = descriptor.source_peer % 4 == 0
+    rows = []
+    source = (descriptor.source_peer, descriptor.generation)
+    for index in range(descriptor.size):
+        records = synthesize_records(
+            records_rng,
+            peer_id=descriptor.source_peer,
+            session_id=SESSION_ID,
+            count=codec.records_per_block,
+            start_time=descriptor.injected_at + index,
+            degraded=degraded,
+        )
+        generated.setdefault(source, []).extend(records)
+        rows.append(codec.pack_block(records))
+    return np.stack(rows)
+
+
+def main() -> None:
+    system = CollectionSystem(PARAMS, seed=5, payload_provider=telemetry_provider)
+    system.run_until(30.0)
+
+    # ---- decode everything the servers completed -------------------------
+    recovered: dict = {}
+    for descriptor, payload_rows in system.collected_data.values():
+        source = (descriptor.source_peer, descriptor.generation)
+        for row in payload_rows:
+            recovered.setdefault(source, []).extend(codec.unpack_block(row))
+
+    departed = {
+        source
+        for source in generated
+        if source[1] < system.peers[source[0]].generation
+    }
+    print(
+        f"session ran to t=30: {len(generated)} source generations emitted "
+        f"telemetry, {len(departed)} of them have departed"
+    )
+
+    recovered_departed = [s for s in departed if recovered.get(s)]
+    total_dep_records = sum(len(generated[s]) for s in departed)
+    got_dep_records = sum(len(recovered.get(s, [])) for s in departed)
+    print(
+        f"departed-peer records recovered: {got_dep_records}/{total_dep_records} "
+        f"({got_dep_records / max(total_dep_records, 1):.1%}) across "
+        f"{len(recovered_departed)} departed generations"
+    )
+
+    # ---- the operator's question: why did peers leave? --------------------
+    print()
+    print("postmortem of departed peers with recovered telemetry:")
+    print(f"{'peer':>5s} {'gen':>4s} {'records':>8s} {'avg buffer':>11s} "
+          f"{'avg loss':>9s} {'rebuffering':>12s}")
+    shown = 0
+    for slot, gen in sorted(departed):
+        records = recovered.get((slot, gen))
+        if not records:
+            continue
+        avg_buffer = sum(r.buffer_level for r in records) / len(records)
+        avg_loss = sum(r.loss_fraction for r in records) / len(records)
+        rebuf = sum(1 for r in records if r.rebuffering)
+        print(
+            f"{slot:5d} {gen:4d} {len(records):8d} {avg_buffer:11.2f} "
+            f"{avg_loss:9.3f} {rebuf:7d}/{len(records)}"
+        )
+        shown += 1
+        if shown >= 10:
+            break
+
+    degraded_sources = [s for s in recovered if s[0] % 4 == 0]
+    healthy_sources = [s for s in recovered if s[0] % 4 != 0]
+
+    def mean_loss(sources) -> float:
+        records = [r for s in sources for r in recovered[s]]
+        if not records:
+            return float("nan")
+        return sum(r.loss_fraction for r in records) / len(records)
+
+    print()
+    print(
+        "diagnosis from recovered records: peers in the degraded group "
+        f"(slot % 4 == 0) show loss {mean_loss(degraded_sources):.3f} vs "
+        f"{mean_loss(healthy_sources):.3f} for the rest — the outage "
+        "signature survives even though many of those peers are gone."
+    )
+    sanity = all(
+        isinstance(r, StatsRecord) and r.session_id == SESSION_ID
+        for rs in recovered.values()
+        for r in rs
+    )
+    print(f"record integrity check (ids, session): {'OK' if sanity else 'FAILED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Flash crowd: why average-provisioned push reporting melts down.
+
+Reproduces the paper's Sec. 1 motivation as a runnable scenario: a x5 burst
+of statistics generation hits logging servers that were provisioned for the
+*average* load.  Three architectures face the same workload:
+
+- push  — traditional periodic reporting (Fig. 1a): overload is dropped;
+- pull  — servers proactively pull pending blocks from peers;
+- indirect — the paper's design (Fig. 1b): RLNC gossip buffering + pulls.
+
+The script prints per-phase intake and the post-run accounting, showing the
+burst being absorbed by the decentralized buffer pool and drained after the
+peak — the "buffering zone and smoothing factor" of the abstract.
+
+Run:  python examples/flash_crowd.py
+"""
+
+from repro import DirectCollectionSystem, FlashCrowdWorkload, Parameters
+from repro.core.push import PushCollectionSystem
+from repro.core.system import CollectionSystem
+
+N_PEERS = 150
+BASE_RATE = 4.0
+BURST_MULTIPLIER = 5.0
+PHASES = [
+    ("steady ", 10.0),
+    ("burst  ", 5.0),
+    ("drain-1", 10.0),
+    ("drain-2", 15.0),
+]
+
+PARAMS = Parameters(
+    n_peers=N_PEERS,
+    arrival_rate=BASE_RATE,
+    gossip_rate=10.0,
+    deletion_rate=0.5,
+    normalized_capacity=6.0,  # covers the time-average demand (6), not the peak (20)
+    segment_size=20,
+    n_servers=4,
+    mean_lifetime=6.0,  # peers churn with mean lifetime 6
+)
+
+
+def make_workload() -> FlashCrowdWorkload:
+    return FlashCrowdWorkload(
+        base_rate=BASE_RATE, burst_start=10.0, burst_end=15.0,
+        multiplier=BURST_MULTIPLIER,
+    )
+
+
+def main() -> None:
+    demand = N_PEERS * BASE_RATE
+    peak = demand * BURST_MULTIPLIER
+    capacity = PARAMS.aggregate_capacity
+    print(
+        f"base demand {demand:.0f} blk/u, burst peak {peak:.0f} blk/u, "
+        f"server capacity {capacity:.0f} blk/u"
+    )
+    print(
+        f"peak-to-average over the session: "
+        f"{make_workload().peak_to_average(0.0, 40.0):.2f}x"
+    )
+    print()
+
+    indirect = CollectionSystem(PARAMS, seed=3, workload=make_workload())
+    pull = DirectCollectionSystem(PARAMS, seed=3, workload=make_workload())
+    push = PushCollectionSystem(PARAMS, seed=3, workload=make_workload())
+
+    print(f"{'phase':8s} {'push':>8s} {'pull':>8s} {'indirect':>9s}   (intake / base demand)")
+    print("-" * 46)
+    for label, duration in PHASES:
+        rates = []
+        for system in (push, pull, indirect):
+            report = system.run_phase(duration)
+            rates.append(report.throughput / demand)
+        print(
+            f"{label:8s} {rates[0]:8.3f} {rates[1]:8.3f} {rates[2]:9.3f}"
+        )
+
+    print()
+    print(f"push: dropped {push.loss_fraction():.1%} of all uploads at the servers")
+    pm_pull = pull.postmortem()
+    pm_ind = indirect.postmortem()
+    print(
+        "departed peers' data ever collected: "
+        f"pull {pm_pull.departed.collected_fraction:.1%}, "
+        f"indirect {pm_ind.departed.collected_fraction:.1%}"
+    )
+    print(
+        "data still recoverable from the network buffer pool: "
+        f"pull {pm_pull.departed.recoverable + pm_pull.live.recoverable}, "
+        f"indirect {pm_ind.departed.recoverable + pm_ind.live.recoverable} blocks"
+    )
+    print()
+    print(
+        "reading: push saturates during the burst and loses the excess\n"
+        "permanently; the indirect pool keeps absorbing (gossip is not\n"
+        "capacity-limited by the servers) and the servers continue draining\n"
+        "it through the post-burst phases — delay traded for loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Tracing a segment's life through the collection pipeline.
+
+Attaches a :class:`repro.sim.Tracer` to a small churned session and prints
+the complete life of a few segments — injection, gossip spread, TTL decay,
+server pulls, completion or loss — followed by the aggregate event census.
+Useful both as a debugging recipe and as a concrete picture of the
+"buffering zone" at the level of individual blocks.
+
+Run:  python examples/trace_segment_life.py
+"""
+
+from collections import Counter
+
+from repro import CollectionSystem, Parameters
+from repro.sim.trace import KIND_COMPLETE, KIND_LOST, Tracer
+
+PARAMS = Parameters(
+    n_peers=40,
+    arrival_rate=3.0,
+    gossip_rate=6.0,
+    deletion_rate=0.8,
+    normalized_capacity=2.0,
+    segment_size=5,
+    n_servers=2,
+    mean_lifetime=8.0,
+)
+
+
+def describe(event) -> str:
+    extras = ""
+    if event.detail:
+        extras = "  " + ", ".join(
+            f"{key}={value:g}" for key, value in sorted(event.detail.items())
+        )
+    peer = f" peer={event.peer}" if event.peer is not None else ""
+    return f"  t={event.time:7.3f}  {event.kind:<8s}{peer}{extras}"
+
+
+def main() -> None:
+    tracer = Tracer()
+    system = CollectionSystem(PARAMS, seed=21, tracer=tracer)
+    system.run_until(12.0)
+
+    print(f"configuration: {PARAMS.describe()}")
+    print(f"traced {len(tracer)} events: {tracer.summary()}")
+    print()
+
+    completed = tracer.of_kind(KIND_COMPLETE)
+    lost = tracer.of_kind(KIND_LOST)
+
+    if completed:
+        segment_id = completed[0].segment
+        print(f"life of segment {segment_id} (completed):")
+        for event in tracer.for_segment(segment_id):
+            print(describe(event))
+        print()
+
+    if lost:
+        segment_id = lost[-1].segment
+        print(f"life of segment {segment_id} (lost before collection):")
+        for event in tracer.for_segment(segment_id):
+            print(describe(event))
+        print()
+
+    # how long do segments spread before the servers finish them?
+    spread = Counter()
+    for event in completed:
+        gossip_hops = sum(
+            1
+            for e in tracer.for_segment(event.segment)
+            if e.kind == "gossip" and e.time <= event.time
+        )
+        spread[min(gossip_hops, 10)] += 1
+    if spread:
+        print("gossip transfers before completion (capped at 10):")
+        for hops in sorted(spread):
+            bar = "#" * spread[hops]
+            print(f"  {hops:>3d}: {bar}")
+
+    print()
+    outcome_total = len(completed) + len(lost)
+    if outcome_total:
+        print(
+            f"outcomes so far: {len(completed)} completed, {len(lost)} lost "
+            f"({len(completed) / outcome_total:.0%} of resolved segments "
+            "reached the servers)"
+        )
+
+
+if __name__ == "__main__":
+    main()

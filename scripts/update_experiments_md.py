@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Inject benchmark tables into EXPERIMENTS.md.
+
+Reads the console log of a benchmark run (``REPRO_BENCH_QUALITY=full pytest
+benchmarks/ --benchmark-only -s | tee bench_full_output.txt``), extracts
+each experiment's printed table, and substitutes it into the matching
+``<!-- NAME_TABLE -->`` placeholder of EXPERIMENTS.md (or refreshes a
+previously injected block).
+
+Usage:  python scripts/update_experiments_md.py [log_path] [experiments_md]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: placeholder -> regex matching the table's title line in the log
+TABLE_TITLES = {
+    "FIG3_TABLE": r"^Fig\. 3 —",
+    "FIG4_TABLE": r"^Fig\. 4 —",
+    "FIG5_TABLE": r"^Fig\. 5 —",
+    "FIG6_TABLE": r"^Fig\. 6 —",
+    "T1_TABLE": r"^Theorem 1 —",
+    "BASELINE_TABLE": r"^Fig\. 1\(a\) vs 1\(b\) —",
+    "TRANSIENT_TABLE": r"^Flash crowd at the fluid limit",
+    "ABL_TTL_TABLE": r"^Ablation — TTL rate",
+    "ABL_BUF_TABLE": r"^Ablation — buffer cap",
+    "ABL_SELECT_TABLE": r"^Ablation — segment selection",
+    "ABL_SCHED_TABLE": r"^Ablation — server pull scheduling",
+    "ABL_CODE_TABLE": r"^Ablation — abstract innovation",
+    "ABL_TOPO_TABLE": r"^Ablation — overlay degree",
+}
+
+
+def extract_table(log_lines: list, title_pattern: str) -> str:
+    """Return the table starting at the title line, through its notes."""
+    title_re = re.compile(title_pattern)
+    start = None
+    for index, line in enumerate(log_lines):
+        if title_re.search(line):
+            start = index
+            break
+    if start is None:
+        return ""
+    block = []
+    for line in log_lines[start:]:
+        stripped = line.rstrip("\n")
+        # A table ends at the first line that is neither table content
+        # (rule, header/data rows, which are indented or numeric) nor a note.
+        is_content = (
+            stripped.startswith("note:")
+            or stripped.startswith("=")
+            or stripped.startswith("-")
+            or (stripped and stripped[0].isspace())
+            or any(ch.isdigit() for ch in stripped[:20])
+        )
+        if block and stripped and not is_content:
+            break
+        if not stripped and len(block) > 3:
+            break
+        block.append(stripped)
+    return "\n".join(block).rstrip()
+
+
+def inject(markdown: str, name: str, table: str) -> str:
+    """Replace the placeholder (or an earlier injected block) for *name*."""
+    placeholder = f"<!-- {name} -->"
+    fenced = f"{placeholder}\n```\n{table}\n```"
+    # refresh an existing injected block
+    pattern = re.compile(
+        re.escape(placeholder) + r"\n```\n.*?\n```", re.DOTALL
+    )
+    if pattern.search(markdown):
+        return pattern.sub(fenced, markdown)
+    if placeholder in markdown:
+        return markdown.replace(placeholder, fenced)
+    return markdown
+
+
+def main(argv: list) -> int:
+    log_path = Path(argv[1]) if len(argv) > 1 else Path("bench_full_output.txt")
+    md_path = Path(argv[2]) if len(argv) > 2 else Path("EXPERIMENTS.md")
+    log_lines = log_path.read_text().splitlines()
+    markdown = md_path.read_text()
+    missing = []
+    for name, title_pattern in TABLE_TITLES.items():
+        table = extract_table(log_lines, title_pattern)
+        if not table:
+            missing.append(name)
+            continue
+        markdown = inject(markdown, name, table)
+    md_path.write_text(markdown)
+    injected = len(TABLE_TITLES) - len(missing)
+    print(f"injected {injected} tables into {md_path}")
+    if missing:
+        print(f"not found in {log_path}: {', '.join(missing)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,7 @@
+"""Setup shim for legacy editable installs (offline environments without
+the `wheel` package cannot run PEP 660 builds; `pip install -e .
+--no-use-pep517 --no-build-isolation` uses this instead)."""
+
+from setuptools import setup
+
+setup()

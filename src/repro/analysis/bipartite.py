@@ -1,0 +1,366 @@
+"""The random bipartite graph process of Sec. 3, simulated directly.
+
+This is the middle fidelity level between the ODE limit and the full
+protocol simulator: segments and peers are vertices, every block copy is an
+edge, and exactly the four graph operations of Sec. 3 drive the evolution —
+
+- **segment injection**: at rate λ/s per eligible peer (degree ≤ B−s), add a
+  new segment vertex with s edges to that peer;
+- **block encoding and transfer**: at rate μ per non-empty peer, pick a
+  segment adjacent to the peer and add one edge from it to a uniformly
+  random peer that still needs the segment (multiplicity < s) and has room;
+- **block deletion**: every edge dies at rate γ (realized as a global
+  deletion clock of rate E·γ removing a uniformly random edge — equivalent
+  by memorylessness, and cheaper than one timer per edge);
+- **server collection**: at aggregate rate c·N, pick a uniformly random
+  non-empty peer, a segment adjacent to it, and advance that segment's
+  collection state if it is below s.
+
+Segment adjacency draws use the *degree-proportional* rule (a uniformly
+random incident edge), which is the approximation under which the paper
+derives Eqs. (2), (8), (12); running this process therefore validates the
+ODE solutions against an independent finite-N implementation.
+
+The implementation is a Gillespie loop: between events all rates are
+constant, so drawing ``Exp(total_rate)`` and then a category proportional to
+the current rates is an exact simulation, with no per-block timers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.randomset import RandomizedSet
+from repro.util.validation import (
+    require_positive,
+    require_positive_int,
+    require_rate,
+)
+
+
+class _Edge:
+    """One block copy: an edge between a segment and a peer."""
+
+    __slots__ = ("segment", "peer")
+
+    def __init__(self, segment: "_Segment", peer: int) -> None:
+        self.segment = segment
+        self.peer = peer
+
+
+class _Segment:
+    """Segment vertex: degree, collection state, and holder multiplicities."""
+
+    __slots__ = ("segment_id", "size", "state", "holders", "injected_at")
+
+    def __init__(self, segment_id: int, size: int, injected_at: float) -> None:
+        self.segment_id = segment_id
+        self.size = size
+        self.state = 0  # blocks collected by the servers (0..size)
+        self.holders: Dict[int, int] = {}  # peer -> edge multiplicity
+        self.injected_at = injected_at
+
+    @property
+    def degree(self) -> int:
+        return sum(self.holders.values())
+
+    @property
+    def is_complete(self) -> bool:
+        return self.state >= self.size
+
+
+@dataclass
+class BipartiteReport:
+    """Measurement-window results of one bipartite-process run."""
+
+    window: float
+    pulls: int
+    useful_pulls: int
+    normalized_throughput: float
+    efficiency: float
+    mean_occupancy: float
+    empty_fraction: float
+    saved_blocks_per_peer: float
+    segments_completed: int
+
+
+class BipartiteProcess:
+    """Finite-N realization of the Sec. 3 graph process."""
+
+    def __init__(
+        self,
+        n_peers: int,
+        arrival_rate: float,
+        gossip_rate: float,
+        deletion_rate: float,
+        segment_size: int,
+        normalized_capacity: float,
+        buffer_capacity: Optional[int] = None,
+        seed: int = 0,
+        target_tries: int = 32,
+    ) -> None:
+        self.n = require_positive_int("n_peers", n_peers)
+        self.lam = require_rate("arrival_rate", arrival_rate)
+        self.mu = require_rate("gossip_rate", gossip_rate, allow_zero=True)
+        self.gamma = require_rate("deletion_rate", deletion_rate)
+        self.s = require_positive_int("segment_size", segment_size)
+        self.c = require_rate("normalized_capacity", normalized_capacity)
+        if buffer_capacity is None:
+            rho = (self.lam + self.mu) / self.gamma
+            buffer_capacity = max(
+                int(rho + 8.0 * max(rho, 1.0) ** 0.5), 3 * self.s, 16
+            )
+        self.B = require_positive_int("buffer_capacity", buffer_capacity)
+        if self.B < self.s:
+            raise ValueError(f"buffer capacity {self.B} below segment size {self.s}")
+        self.target_tries = require_positive_int("target_tries", target_tries)
+        self._rng = random.Random(seed)
+
+        self.now = 0.0
+        self.peer_degree: List[int] = [0] * self.n
+        #: per-peer incident edges (uniform edge draw = degree-proportional
+        #: adjacent-segment draw, the analysis's selection rule)
+        self._peer_edges: List[RandomizedSet] = [
+            RandomizedSet() for _ in range(self.n)
+        ]
+        self._nonempty: RandomizedSet[int] = RandomizedSet()
+        self._edges: RandomizedSet[_Edge] = RandomizedSet()
+        self._segments: Dict[int, _Segment] = {}
+        self._next_segment_id = 0
+
+        # measurement state
+        self._win_start = 0.0
+        self._pulls = 0
+        self._useful = 0
+        self._completed = 0
+        self._occupancy_integral = 0.0
+        self._empty_integral = 0.0
+        self._saved_integral = 0.0
+        self._saved_count = 0
+        self._last_t = 0.0
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        """Total live edges E(t) (blocks in the network)."""
+        return len(self._edges)
+
+    @property
+    def empty_count(self) -> int:
+        """Peers of degree zero (Y_0)."""
+        return self.n - len(self._nonempty)
+
+    def _advance_integrals(self, t: float) -> None:
+        dt = t - self._last_t
+        self._occupancy_integral += len(self._edges) * dt
+        self._empty_integral += self.empty_count * dt
+        self._saved_integral += self._saved_count * dt
+        self._last_t = t
+
+    def _saved_flag(self, segment: _Segment) -> bool:
+        return segment.degree >= segment.size and not segment.is_complete
+
+    def _update_saved(self, segment: _Segment, before: bool) -> None:
+        after = self._saved_flag(segment)
+        if after and not before:
+            self._saved_count += 1
+        elif before and not after:
+            self._saved_count -= 1
+
+    def _add_edge(self, segment: _Segment, peer: int) -> None:
+        before = self._saved_flag(segment)
+        edge = _Edge(segment, peer)
+        self._edges.add(edge)
+        self._peer_edges[peer].add(edge)
+        segment.holders[peer] = segment.holders.get(peer, 0) + 1
+        if self.peer_degree[peer] == 0:
+            self._nonempty.add(peer)
+        self.peer_degree[peer] += 1
+        self._update_saved(segment, before)
+
+    def _remove_edge(self, edge: _Edge) -> None:
+        segment, peer = edge.segment, edge.peer
+        before = self._saved_flag(segment)
+        self._edges.remove(edge)
+        self._peer_edges[peer].remove(edge)
+        multiplicity = segment.holders[peer] - 1
+        if multiplicity:
+            segment.holders[peer] = multiplicity
+        else:
+            del segment.holders[peer]
+        self.peer_degree[peer] -= 1
+        if self.peer_degree[peer] == 0:
+            self._nonempty.discard(peer)
+        self._update_saved(segment, before)
+        if not segment.holders:
+            del self._segments[segment.segment_id]
+
+    # -- the four graph operations ------------------------------------------------
+
+    def _op_inject(self) -> None:
+        peer = self._rng.randrange(self.n)
+        if self.peer_degree[peer] > self.B - self.s:
+            return  # blocked: Sec. 3 adds edges only to peers of degree <= B-s
+        segment = _Segment(self._next_segment_id, self.s, self.now)
+        self._next_segment_id += 1
+        self._segments[segment.segment_id] = segment
+        for _ in range(self.s):
+            self._add_edge(segment, peer)
+
+    def _op_gossip(self) -> None:
+        if not self._nonempty:
+            return
+        sender = self._nonempty.sample(self._rng)
+        segment = self._peer_edges[sender].sample(self._rng).segment
+        for _ in range(self.target_tries):
+            target = self._rng.randrange(self.n)
+            if target == sender:
+                continue
+            if self.peer_degree[target] >= self.B:
+                continue
+            if segment.holders.get(target, 0) >= self.s:
+                continue
+            self._add_edge(segment, target)
+            return
+
+    def _op_delete(self) -> None:
+        if self._edges:
+            self._remove_edge(self._edges.sample(self._rng))
+
+    def _op_collect(self) -> None:
+        self._pulls += 1
+        if not self._nonempty:
+            return
+        peer = self._nonempty.sample(self._rng)
+        segment = self._peer_edges[peer].sample(self._rng).segment
+        if segment.is_complete:
+            return
+        before = self._saved_flag(segment)
+        segment.state += 1
+        self._useful += 1
+        if segment.is_complete:
+            self._completed += 1
+        self._update_saved(segment, before)
+
+    # -- the Gillespie loop ----------------------------------------------------------
+
+    def run_until(self, end_time: float) -> None:
+        """Advance the process to *end_time* exactly."""
+        if end_time < self.now:
+            raise ValueError(f"end_time {end_time} is before now {self.now}")
+        rng = self._rng
+        while True:
+            inject_rate = self.n * self.lam / self.s
+            gossip_rate = len(self._nonempty) * self.mu
+            delete_rate = len(self._edges) * self.gamma
+            collect_rate = self.c * self.n
+            total = inject_rate + gossip_rate + delete_rate + collect_rate
+            if total <= 0:
+                break
+            gap = rng.expovariate(total)
+            if self.now + gap > end_time:
+                break
+            self.now += gap
+            self._advance_integrals(self.now)
+            draw = rng.random() * total
+            if draw < inject_rate:
+                self._op_inject()
+            elif draw < inject_rate + gossip_rate:
+                self._op_gossip()
+            elif draw < inject_rate + gossip_rate + delete_rate:
+                self._op_delete()
+            else:
+                self._op_collect()
+        self.now = end_time
+        self._advance_integrals(end_time)
+
+    def begin_window(self) -> None:
+        """Reset measurement counters at the current time."""
+        self._win_start = self.now
+        self._advance_integrals(self.now)
+        self._occupancy_integral = 0.0
+        self._empty_integral = 0.0
+        self._saved_integral = 0.0
+        self._pulls = 0
+        self._useful = 0
+        self._completed = 0
+
+    def run(self, warmup: float, duration: float) -> BipartiteReport:
+        """Warm up, measure, and report — mirroring CollectionSystem.run."""
+        if warmup < 0 or duration <= 0:
+            raise ValueError(
+                f"need warmup >= 0 and duration > 0, got {warmup}, {duration}"
+            )
+        self.run_until(self.now + warmup)
+        self.begin_window()
+        self.run_until(self.now + duration)
+        window = self.now - self._win_start
+        demand = self.n * self.lam
+        throughput = self._useful / window if window > 0 else 0.0
+        return BipartiteReport(
+            window=window,
+            pulls=self._pulls,
+            useful_pulls=self._useful,
+            normalized_throughput=throughput / demand if demand else 0.0,
+            efficiency=self._useful / self._pulls if self._pulls else 0.0,
+            mean_occupancy=self._occupancy_integral / window / self.n,
+            empty_fraction=self._empty_integral / window / self.n,
+            saved_blocks_per_peer=self._saved_integral / window * self.s / self.n,
+            segments_completed=self._completed,
+        )
+
+    # -- snapshots for distribution-level validation -----------------------------------
+
+    def peer_degree_distribution(self) -> List[float]:
+        """Instantaneous z_i vector (fractions, indices 0..B)."""
+        counts = [0] * (self.B + 1)
+        for degree in self.peer_degree:
+            counts[degree] += 1
+        return [count / self.n for count in counts]
+
+    def segment_degree_histogram(self) -> Dict[int, int]:
+        """Instantaneous X_i histogram."""
+        histogram: Dict[int, int] = {}
+        for segment in self._segments.values():
+            degree = segment.degree
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+    def collection_matrix(self) -> Dict[int, Dict[int, int]]:
+        """Instantaneous M_i^j histogram."""
+        matrix: Dict[int, Dict[int, int]] = {}
+        for segment in self._segments.values():
+            row = matrix.setdefault(segment.degree, {})
+            row[segment.state] = row.get(segment.state, 0) + 1
+        return matrix
+
+    def consistency_check(self) -> None:
+        """Cross-check internal counters; raises AssertionError on drift."""
+        total_from_peers = sum(self.peer_degree)
+        if total_from_peers != len(self._edges):
+            raise AssertionError(
+                f"edge drift: peers {total_from_peers}, edges {len(self._edges)}"
+            )
+        total_from_segments = sum(
+            segment.degree for segment in self._segments.values()
+        )
+        if total_from_segments != len(self._edges):
+            raise AssertionError(
+                f"edge drift: segments {total_from_segments}, "
+                f"edges {len(self._edges)}"
+            )
+        saved_actual = sum(
+            1 for segment in self._segments.values() if self._saved_flag(segment)
+        )
+        if saved_actual != self._saved_count:
+            raise AssertionError(
+                f"saved drift: counted {self._saved_count}, actual {saved_actual}"
+            )
+        nonempty_actual = {
+            peer for peer in range(self.n) if self.peer_degree[peer] > 0
+        }
+        if nonempty_actual != set(self._nonempty):
+            raise AssertionError("non-empty set drift")

@@ -1,0 +1,153 @@
+"""Structured validation of simulation runs against the paper's theory.
+
+Users extending the protocol want one call that answers "does my simulated
+run still behave the way Sec. 4 predicts?"  :func:`validate_report`
+evaluates Theorems 1, 2 and 4 for the run's parameters and returns a
+per-metric comparison with relative errors and pass/fail flags against
+caller-chosen tolerances.  The cross-model test suite is built from the
+same checks, so library users and CI enforce the same contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.theorems import analyze
+from repro.core.params import Parameters
+from repro.sim.metrics import MetricsReport
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One theory-vs-measurement comparison."""
+
+    name: str
+    measured: float
+    predicted: float
+    relative_error: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        return self.relative_error <= self.tolerance
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "MISMATCH"
+        return (
+            f"{self.name}: measured {self.measured:.4f} vs predicted "
+            f"{self.predicted:.4f} (err {self.relative_error:.1%}, "
+            f"tol {self.tolerance:.0%}) {status}"
+        )
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """All checks for one run."""
+
+    checks: Dict[str, MetricCheck]
+    applicable: bool
+    reason: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        """True when applicable and every individual check passed."""
+        return self.applicable and all(c.passed for c in self.checks.values())
+
+    def failures(self) -> Dict[str, MetricCheck]:
+        """The checks that missed their tolerance."""
+        return {name: c for name, c in self.checks.items() if not c.passed}
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        if not self.applicable:
+            return f"validation not applicable: {self.reason}"
+        return "\n".join(str(check) for check in self.checks.values())
+
+
+#: Default tolerances, calibrated from the cross-model test suite at
+#: N >= 150 peers and measurement windows >= 15/gamma.
+DEFAULT_TOLERANCES = {
+    "occupancy": 0.10,
+    "empty_fraction": 0.10,
+    "throughput": 0.10,
+    "saved_blocks": 0.40,
+}
+
+
+def validate_report(
+    report: MetricsReport,
+    params: Parameters,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> ValidationResult:
+    """Compare one run's report against Theorems 1, 2 and 4.
+
+    The theory describes the static mean-field network with the
+    degree-proportional selection rule; runs outside that envelope (churn,
+    time-varying workloads, the uniform selection rule) return
+    ``applicable=False`` rather than a misleading verdict.
+    """
+    tols = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        unknown = set(tolerances) - set(tols)
+        if unknown:
+            raise ValueError(
+                f"unknown tolerance keys {sorted(unknown)}; "
+                f"valid: {sorted(tols)}"
+            )
+        tols.update(tolerances)
+
+    if params.churn_enabled:
+        return ValidationResult(
+            checks={}, applicable=False,
+            reason="theory does not model churn (Sec. 4 treats it by simulation)",
+        )
+    if params.segment_selection != "proportional":
+        return ValidationResult(
+            checks={}, applicable=False,
+            reason="theory assumes degree-proportional selection (Eq. 2)",
+        )
+    if params.pull_policy != "random":
+        return ValidationResult(
+            checks={}, applicable=False,
+            reason="theory models the random coupon-collector pull only",
+        )
+
+    point = analyze(
+        params.arrival_rate,
+        params.gossip_rate,
+        params.deletion_rate,
+        params.segment_size,
+        params.normalized_capacity,
+    )
+    checks: Dict[str, MetricCheck] = {}
+
+    def add(name: str, measured: float, predicted: float) -> None:
+        if measured is None or (isinstance(measured, float) and math.isnan(measured)):
+            return
+        # Floor the denominator: metrics that are predicted ~0 (e.g. z0 in
+        # busy networks) are compared on an absolute 0.01 scale instead of a
+        # meaningless relative one.
+        error = abs(measured - predicted) / max(abs(predicted), 0.01)
+        checks[name] = MetricCheck(
+            name=name,
+            measured=float(measured),
+            predicted=float(predicted),
+            relative_error=error,
+            tolerance=tols[name.split(":")[0]],
+        )
+
+    add("occupancy", report.mean_buffer_occupancy, point.storage.occupancy)
+    add("empty_fraction", report.empty_peer_fraction, point.storage.z0)
+    add(
+        "throughput",
+        report.normalized_throughput,
+        point.throughput.normalized_throughput,
+    )
+    add(
+        "saved_blocks",
+        report.saved_blocks_per_peer,
+        point.saved.saved_blocks_per_peer,
+    )
+    return ValidationResult(checks=checks, applicable=True)

@@ -1,0 +1,114 @@
+"""Command-line interface: ``python -m repro <experiment>`` or ``repro ...``.
+
+Regenerates any of the paper's figures (and the extra validations) from the
+terminal and optionally writes the series to JSON::
+
+    repro fig3 --quality fast
+    repro fig5 --quality full --json results/fig5.json
+    repro all --quality fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    QUALITY_FAST,
+    QUALITY_FULL,
+    SeriesResult,
+    run_baseline_comparison,
+    run_buffer_ablation,
+    run_coding_ablation,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_scheduler_ablation,
+    run_selection_ablation,
+    run_theorem1,
+    run_topology_ablation,
+    run_transient,
+    run_ttl_ablation,
+)
+
+RUNNERS: Dict[str, Callable[..., SeriesResult]] = {
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "theorem1": run_theorem1,
+    "transient": run_transient,
+    "baseline": run_baseline_comparison,
+    "ablation-ttl": run_ttl_ablation,
+    "ablation-buffer": run_buffer_ablation,
+    "ablation-selection": run_selection_ablation,
+    "ablation-scheduler": run_scheduler_ablation,
+    "ablation-coding": run_coding_ablation,
+    "ablation-topology": run_topology_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the evaluation of 'Circumventing Server Bottlenecks: "
+            "Indirect Large-Scale P2P Data Collection' (ICDCS 2008)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(RUNNERS) + ["all"],
+        help="which figure/ablation to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--quality",
+        choices=[QUALITY_FAST, QUALITY_FULL],
+        default=QUALITY_FAST,
+        help="simulation budget: 'fast' for minutes, 'full' for paper-scale",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the series to a JSON file (or directory for 'all')",
+    )
+    return parser
+
+
+def run_experiment(name: str, quality: str) -> SeriesResult:
+    """Run one named experiment and return its series."""
+    runner = RUNNERS.get(name)
+    if runner is None:
+        raise ValueError(f"unknown experiment {name!r}; choose from {sorted(RUNNERS)}")
+    return runner(quality=quality)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, args.quality)
+        print(result.to_table())
+        print()
+        if args.json is not None:
+            if args.experiment == "all":
+                args.json.mkdir(parents=True, exist_ok=True)
+                target = args.json / f"{result.name}.json"
+            else:
+                target = args.json
+                if target.parent != Path("."):
+                    target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(result.to_json())
+            print(f"wrote {target}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Data model for segments and coded blocks.
+
+Sec. 2 of the paper groups the statistics blocks generated at each peer into
+*segments* of ``s`` blocks and spreads random linear combinations of each
+segment's blocks across the network.  This module defines the immutable
+description of a segment (:class:`SegmentDescriptor`) and the unit that
+actually moves between peers and servers (:class:`CodedBlock`).
+
+A coded block carries its encoding vector over the segment's *original*
+blocks ("the coding coefficients used to encode original blocks to x are
+embedded in the header of the coded block"), so any holder can re-encode
+without global coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.coding import gf256
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """Immutable identity and metadata of one segment.
+
+    Attributes:
+        segment_id: Globally unique integer id.
+        source_peer: Slot id of the peer that generated the segment.
+        size: Number of original blocks ``s`` grouped into the segment.
+        injected_at: Simulation time of injection.
+        generation: Generation counter of the source peer (increments when a
+            churn replacement reuses the slot), so statistics of departed
+            peers remain attributable.
+    """
+
+    segment_id: int
+    source_peer: int
+    size: int
+    injected_at: float
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"segment size must be >= 1, got {self.size}")
+
+    def __str__(self) -> str:
+        return (
+            f"segment {self.segment_id} (peer {self.source_peer}"
+            f"@g{self.generation}, s={self.size}, t={self.injected_at:.3f})"
+        )
+
+
+@dataclass(eq=False)
+class CodedBlock:
+    """One coded block of a segment.
+
+    ``coefficients`` is the encoding vector over the segment's original
+    blocks; ``payload`` is the coded data bytes.  Both are optional because
+    the abstract simulation mode tracks block *counts* only (the paper's
+    bipartite-graph view, where a block is just an edge); the full-RLNC mode
+    fills both in.
+
+    Identity (not value) equality is deliberate: two blocks with equal
+    coefficients are still distinct objects occupying distinct buffer slots.
+    """
+
+    segment: SegmentDescriptor
+    coefficients: Optional[np.ndarray] = None
+    payload: Optional[np.ndarray] = None
+    created_at: float = 0.0
+    #: Liveness flag flipped by TTL expiry and churn; lets stale deletion
+    #: events detect that their target is already gone.
+    alive: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.coefficients is not None:
+            self.coefficients = gf256.as_vector(self.coefficients)
+            if self.coefficients.shape != (self.segment.size,):
+                raise ValueError(
+                    f"coefficient vector has shape {self.coefficients.shape}, "
+                    f"expected ({self.segment.size},)"
+                )
+        if self.payload is not None:
+            self.payload = gf256.as_vector(self.payload)
+
+    @property
+    def is_coded(self) -> bool:
+        """True when the block carries an explicit encoding vector."""
+        return self.coefficients is not None
+
+    def __repr__(self) -> str:
+        kind = "rlnc" if self.is_coded else "abstract"
+        return (
+            f"CodedBlock(segment={self.segment.segment_id}, kind={kind}, "
+            f"t={self.created_at:.3f}, alive={self.alive})"
+        )
+
+
+def make_source_blocks(
+    segment: SegmentDescriptor,
+    payloads: Optional[np.ndarray] = None,
+    created_at: Optional[float] = None,
+) -> list:
+    """Create the ``s`` systematic (identity-coded) blocks of a new segment.
+
+    When the source injects a segment it holds the original blocks
+    themselves; in coded form those are unit coefficient vectors.  *payloads*
+    is an optional ``(s, payload_len)`` array of original data rows.
+    """
+    if payloads is not None:
+        payloads = np.atleast_2d(np.asarray(payloads)).astype(np.uint8)
+        if payloads.shape[0] != segment.size:
+            raise ValueError(
+                f"expected {segment.size} payload rows, got {payloads.shape[0]}"
+            )
+    when = segment.injected_at if created_at is None else created_at
+    blocks = []
+    for index in range(segment.size):
+        unit = np.zeros(segment.size, dtype=np.uint8)
+        unit[index] = 1
+        blocks.append(
+            CodedBlock(
+                segment=segment,
+                coefficients=unit,
+                payload=None if payloads is None else payloads[index].copy(),
+                created_at=when,
+            )
+        )
+    return blocks
+
+
+def make_abstract_blocks(
+    segment: SegmentDescriptor,
+    count: Optional[int] = None,
+    created_at: Optional[float] = None,
+) -> list:
+    """Create *count* coefficient-free blocks (edges of the bipartite graph)."""
+    n = segment.size if count is None else count
+    if n < 0:
+        raise ValueError(f"block count must be >= 0, got {n}")
+    when = segment.injected_at if created_at is None else created_at
+    return [CodedBlock(segment=segment, created_at=when) for _ in range(n)]

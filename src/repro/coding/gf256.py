@@ -1,0 +1,202 @@
+"""Arithmetic in the Galois field GF(2^8).
+
+The paper's random linear code operates on byte symbols in GF(2^8) (Sec. 2:
+"a coded block b from segment i is a linear combination ... in the Galois
+field GF(2^8)").  This module implements the field from scratch:
+
+- construction of exponential/logarithm tables over the AES polynomial
+  ``x^8 + x^4 + x^3 + x + 1`` (0x11B) with generator 0x03,
+- scalar ``add``/``sub``/``mul``/``div``/``inv``/``pow``,
+- vectorized numpy operations used by the linear-algebra layer
+  (:mod:`repro.coding.linalg`), where coefficient vectors are ``uint8`` arrays.
+
+Addition in a binary extension field is XOR, so ``add`` and ``sub`` coincide.
+Multiplication uses ``exp[(log a + log b) mod 255]``; the tables are built
+once at import time by repeated multiplication by the generator, not copied
+from any reference table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+#: Field order and characteristic-polynomial constants.
+ORDER = 256
+#: AES reduction polynomial x^8 + x^4 + x^3 + x + 1.
+MODULUS = 0x11B
+#: 0x03 = x + 1 is a primitive element modulo 0x11B.
+GENERATOR = 0x03
+
+
+def _build_tables() -> tuple:
+    """Construct exp/log tables by iterating ``g^k`` with carry-less reduction."""
+    exp = np.zeros(512, dtype=np.int32)  # doubled to skip the mod-255 in mul
+    log = np.zeros(256, dtype=np.int32)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        # Multiply `value` by the generator 0x03 = x + 1:  v*0x03 = (v<<1) ^ v,
+        # reduced modulo the field polynomial when the degree-8 bit appears.
+        shifted = value << 1
+        if shifted & 0x100:
+            shifted ^= MODULUS
+        value = shifted ^ value
+    if value != 1:
+        raise AssertionError("generator 0x03 must have multiplicative order 255")
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+
+def validate_symbol(value: int) -> int:
+    """Return *value* if it is a valid field element (0..255)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"GF(256) symbol must be an integer, got {value!r}")
+    if not 0 <= int(value) < ORDER:
+        raise ValueError(f"GF(256) symbol must lie in [0, 255], got {value!r}")
+    return int(value)
+
+
+def add(a: int, b: int) -> int:
+    """Field addition (XOR)."""
+    return validate_symbol(a) ^ validate_symbol(b)
+
+
+def sub(a: int, b: int) -> int:
+    """Field subtraction; identical to addition in characteristic 2."""
+    return add(a, b)
+
+
+def mul(a: int, b: int) -> int:
+    """Field multiplication via log/exp tables."""
+    a = validate_symbol(a)
+    b = validate_symbol(b)
+    if a == 0 or b == 0:
+        return 0
+    return int(EXP_TABLE[LOG_TABLE[a] + LOG_TABLE[b]])
+
+
+def inv(a: int) -> int:
+    """Multiplicative inverse; raises :class:`ZeroDivisionError` for 0."""
+    a = validate_symbol(a)
+    if a == 0:
+        raise ZeroDivisionError("0 has no multiplicative inverse in GF(256)")
+    return int(EXP_TABLE[255 - LOG_TABLE[a]])
+
+
+def div(a: int, b: int) -> int:
+    """Field division ``a / b``; raises :class:`ZeroDivisionError` for b=0."""
+    a = validate_symbol(a)
+    b = validate_symbol(b)
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[LOG_TABLE[a] - LOG_TABLE[b] + 255])
+
+
+def power(a: int, exponent: int) -> int:
+    """Field exponentiation ``a ** exponent`` for integer exponents.
+
+    Negative exponents are defined through the inverse; ``0 ** 0 == 1`` by
+    the usual empty-product convention, while ``0 ** n == 0`` for n > 0 and
+    raises for n < 0.
+    """
+    a = validate_symbol(a)
+    if not isinstance(exponent, (int, np.integer)) or isinstance(exponent, bool):
+        raise ValueError(f"exponent must be an integer, got {exponent!r}")
+    exponent = int(exponent)
+    if a == 0:
+        if exponent == 0:
+            return 1
+        if exponent < 0:
+            raise ZeroDivisionError("0 cannot be raised to a negative power")
+        return 0
+    return int(EXP_TABLE[(LOG_TABLE[a] * exponent) % 255])
+
+
+# ---------------------------------------------------------------------------
+# Vectorized operations on uint8 numpy arrays.
+# ---------------------------------------------------------------------------
+
+def as_vector(values: Iterable[int]) -> np.ndarray:
+    """Coerce *values* into a ``uint8`` coefficient vector, validating range."""
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+    if array.dtype == np.uint8:
+        return array.copy()
+    if array.size and (array.min() < 0 or array.max() > 255):
+        raise ValueError("GF(256) vector entries must lie in [0, 255]")
+    return array.astype(np.uint8)
+
+
+def vec_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise field addition of two uint8 arrays."""
+    return np.bitwise_xor(a, b)
+
+
+def vec_scale(vector: np.ndarray, scalar: int) -> np.ndarray:
+    """Multiply every entry of *vector* by the field scalar *scalar*."""
+    scalar = validate_symbol(scalar)
+    if scalar == 0:
+        return np.zeros_like(vector)
+    if scalar == 1:
+        return vector.copy()
+    logs = LOG_TABLE[vector.astype(np.int32)] + LOG_TABLE[scalar]
+    result = EXP_TABLE[logs].astype(np.uint8)
+    result[vector == 0] = 0
+    return result
+
+
+def vec_addmul(accumulator: np.ndarray, vector: np.ndarray, scalar: int) -> None:
+    """In-place ``accumulator ^= scalar * vector`` (the axpy of GF(256))."""
+    if accumulator.shape != vector.shape:
+        raise ValueError(
+            f"shape mismatch: accumulator {accumulator.shape} vs vector {vector.shape}"
+        )
+    np.bitwise_xor(accumulator, vec_scale(vector, scalar), out=accumulator)
+
+
+def vec_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise field multiplication of two uint8 arrays."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    logs = LOG_TABLE[a.astype(np.int32)] + LOG_TABLE[b.astype(np.int32)]
+    result = EXP_TABLE[logs].astype(np.uint8)
+    result[(a == 0) | (b == 0)] = 0
+    return result
+
+
+def mat_vec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """GF(256) matrix-vector product (rows of *matrix* dot *vector*)."""
+    matrix = np.atleast_2d(matrix)
+    if matrix.shape[1] != vector.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: matrix {matrix.shape} x vector {vector.shape}"
+        )
+    out = np.zeros(matrix.shape[0], dtype=np.uint8)
+    for j in range(vector.shape[0]):
+        scalar = int(vector[j])
+        if scalar:
+            vec_addmul(out, matrix[:, j], scalar)
+    return out
+
+
+def mat_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """GF(256) matrix-matrix product."""
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for k in range(a.shape[1]):
+        column = a[:, k]
+        row = b[k, :]
+        nz_cols = np.nonzero(row)[0]
+        for j in nz_cols:
+            vec_addmul(out[:, j], column, int(row[j]))
+    return out

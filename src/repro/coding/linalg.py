@@ -1,0 +1,244 @@
+"""Linear algebra over GF(2^8) for RLNC encoding and decoding.
+
+Two styles of elimination are provided:
+
+- batch helpers (:func:`rank`, :func:`rref`, :func:`solve`, :func:`invert`)
+  over ``uint8`` numpy matrices, used by tests and by offline decoding, and
+- :class:`IncrementalDecoder`, a progressive Gauss-Jordan eliminator that
+  accepts one coded block at a time and answers the question the protocol
+  actually asks: *is this block innovative?*  Servers (and, in full-RLNC
+  mode, peers) keep one instance per segment.
+
+The paper notes that decoding a segment of ``s`` blocks costs about ``O(s)``
+operations per input block once blocks arrive; the incremental decoder has
+exactly that per-block profile (one elimination pass against at most ``s``
+pivot rows).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.coding import gf256
+
+
+def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+    array = np.atleast_2d(np.asarray(matrix))
+    if array.size and (array.min() < 0 or array.max() > 255):
+        raise ValueError("GF(256) matrix entries must lie in [0, 255]")
+    return array.astype(np.uint8)
+
+
+def rref(matrix: np.ndarray) -> Tuple[np.ndarray, List[int]]:
+    """Reduced row-echelon form of *matrix* over GF(256).
+
+    Returns ``(reduced, pivot_columns)``.  The input is not modified.
+    """
+    work = _as_matrix(matrix).copy()
+    n_rows, n_cols = work.shape
+    pivot_cols: List[int] = []
+    row = 0
+    for col in range(n_cols):
+        if row >= n_rows:
+            break
+        pivot_row = None
+        for candidate in range(row, n_rows):
+            if work[candidate, col]:
+                pivot_row = candidate
+                break
+        if pivot_row is None:
+            continue
+        if pivot_row != row:
+            work[[row, pivot_row]] = work[[pivot_row, row]]
+        pivot_value = int(work[row, col])
+        if pivot_value != 1:
+            work[row] = gf256.vec_scale(work[row], gf256.inv(pivot_value))
+        for other in range(n_rows):
+            if other != row and work[other, col]:
+                gf256.vec_addmul(work[other], work[row], int(work[other, col]))
+        pivot_cols.append(col)
+        row += 1
+    return work, pivot_cols
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank of *matrix* over GF(256)."""
+    _, pivots = rref(matrix)
+    return len(pivots)
+
+
+def is_invertible(matrix: np.ndarray) -> bool:
+    """True iff *matrix* is square and full-rank over GF(256)."""
+    array = _as_matrix(matrix)
+    return array.shape[0] == array.shape[1] and rank(array) == array.shape[0]
+
+
+def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` over GF(256) for square full-rank systems.
+
+    *rhs* may be a vector or a matrix of stacked right-hand sides.  Raises
+    :class:`ValueError` for non-square or singular systems.
+    """
+    a = _as_matrix(matrix)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"solve requires a square matrix, got {a.shape}")
+    b = np.asarray(rhs).astype(np.uint8)
+    rhs_was_vector = b.ndim == 1
+    if rhs_was_vector:
+        b = b.reshape(-1, 1)
+    if b.shape[0] != a.shape[0]:
+        raise ValueError(f"rhs has {b.shape[0]} rows, expected {a.shape[0]}")
+    augmented = np.concatenate([a, b], axis=1)
+    reduced, pivots = rref(augmented)
+    if pivots[: a.shape[0]] != list(range(a.shape[0])) or len(pivots) != a.shape[0]:
+        raise ValueError("matrix is singular over GF(256)")
+    solution = reduced[:, a.shape[1]:]
+    return solution[:, 0] if rhs_was_vector else solution
+
+
+def invert(matrix: np.ndarray) -> np.ndarray:
+    """Matrix inverse over GF(256); raises :class:`ValueError` if singular."""
+    a = _as_matrix(matrix)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"invert requires a square matrix, got {a.shape}")
+    identity = np.eye(a.shape[0], dtype=np.uint8)
+    return solve(a, identity)
+
+
+class IncrementalDecoder:
+    """Progressive Gauss-Jordan elimination over GF(256).
+
+    Collects coded blocks ``(coefficients, payload)`` for one segment of
+    *size* original blocks.  Each offered block is reduced against the pivot
+    rows accumulated so far; a block that reduces to zero is *redundant* and
+    rejected, otherwise it becomes a new pivot row.  Once ``size`` pivot rows
+    exist the original payloads are recoverable via back-substitution.
+
+    Payloads are optional: the protocol simulators often track only
+    coefficient vectors (rank evolution) without carrying data bytes.
+    """
+
+    def __init__(self, size: int, payload_length: Optional[int] = None) -> None:
+        if size < 1:
+            raise ValueError(f"segment size must be >= 1, got {size}")
+        self.size = size
+        self.payload_length = payload_length
+        # Row-echelon coefficient rows and the matching (reduced) payloads.
+        self._rows: np.ndarray = np.zeros((0, size), dtype=np.uint8)
+        self._payloads: List[Optional[np.ndarray]] = []
+        # pivot column of each stored row, kept sorted by construction
+        self._pivot_cols: List[int] = []
+
+    @property
+    def rank(self) -> int:
+        """Number of linearly independent blocks received so far."""
+        return self._rows.shape[0]
+
+    @property
+    def is_complete(self) -> bool:
+        """True once the full segment can be decoded."""
+        return self.rank == self.size
+
+    def needs_more(self) -> bool:
+        """True while additional innovative blocks are still useful."""
+        return not self.is_complete
+
+    def would_be_innovative(self, coefficients: np.ndarray) -> bool:
+        """Check innovation without mutating the decoder state."""
+        reduced, _ = self._reduce(coefficients, None)
+        return bool(reduced.any())
+
+    def add(
+        self,
+        coefficients: np.ndarray,
+        payload: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Offer one coded block; return ``True`` iff it was innovative.
+
+        *coefficients* is the length-``size`` encoding vector over the
+        original blocks; *payload* is the coded data (optional, but must be
+        consistently present or absent across calls if decoding is desired).
+        """
+        vector = gf256.as_vector(coefficients)
+        if vector.shape != (self.size,):
+            raise ValueError(
+                f"coefficient vector has shape {vector.shape}, expected ({self.size},)"
+            )
+        data: Optional[np.ndarray] = None
+        if payload is not None:
+            data = gf256.as_vector(payload)
+            if self.payload_length is None:
+                self.payload_length = int(data.shape[0])
+            elif data.shape[0] != self.payload_length:
+                raise ValueError(
+                    f"payload length {data.shape[0]} != expected {self.payload_length}"
+                )
+        reduced_vec, reduced_payload = self._reduce(vector, data)
+        if not reduced_vec.any():
+            return False
+        self._insert(reduced_vec, reduced_payload)
+        return True
+
+    def decode(self) -> np.ndarray:
+        """Recover the original payload matrix (one row per original block).
+
+        Raises :class:`ValueError` if the segment is incomplete or payloads
+        were not supplied with the coded blocks.
+        """
+        if not self.is_complete:
+            raise ValueError(
+                f"segment not decodable: rank {self.rank} < size {self.size}"
+            )
+        if any(p is None for p in self._payloads):
+            raise ValueError("cannot decode: coded blocks carried no payloads")
+        # Rows are maintained in fully reduced (Gauss-Jordan) form, so after
+        # sorting by pivot column the coefficient matrix is the identity and
+        # the payloads *are* the original blocks.
+        order = np.argsort(self._pivot_cols)
+        return np.stack([self._payloads[i] for i in order])
+
+    def coefficient_matrix(self) -> np.ndarray:
+        """Copy of the current reduced coefficient rows (for inspection)."""
+        return self._rows.copy()
+
+    # -- internals ---------------------------------------------------------
+
+    def _reduce(
+        self,
+        vector: np.ndarray,
+        payload: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Eliminate *vector* (and its payload) against the stored rows."""
+        vec = vector.copy()
+        data = payload.copy() if payload is not None else None
+        for row_idx, pivot_col in enumerate(self._pivot_cols):
+            factor = int(vec[pivot_col])
+            if factor:
+                gf256.vec_addmul(vec, self._rows[row_idx], factor)
+                if data is not None and self._payloads[row_idx] is not None:
+                    gf256.vec_addmul(data, self._payloads[row_idx], factor)
+        return vec, data
+
+    def _insert(self, vector: np.ndarray, payload: Optional[np.ndarray]) -> None:
+        """Normalize the reduced *vector*, install it, and back-eliminate."""
+        pivot_col = int(np.nonzero(vector)[0][0])
+        pivot_value = int(vector[pivot_col])
+        if pivot_value != 1:
+            inv = gf256.inv(pivot_value)
+            vector = gf256.vec_scale(vector, inv)
+            if payload is not None:
+                payload = gf256.vec_scale(payload, inv)
+        # Back-substitute into existing rows so the basis stays Gauss-Jordan
+        # reduced; this keeps `decode` trivial and `_reduce` single-pass.
+        for row_idx in range(len(self._pivot_cols)):
+            factor = int(self._rows[row_idx, pivot_col])
+            if factor:
+                gf256.vec_addmul(self._rows[row_idx], vector, factor)
+                existing = self._payloads[row_idx]
+                if existing is not None and payload is not None:
+                    gf256.vec_addmul(existing, payload, factor)
+        self._rows = np.vstack([self._rows, vector])
+        self._payloads.append(payload)
+        self._pivot_cols.append(pivot_col)

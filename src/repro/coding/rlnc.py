@@ -1,0 +1,200 @@
+"""Random linear network coding: recoding at holders, decoding at servers.
+
+Implements the coding operations of Sec. 2:
+
+- a holder of ``l <= s`` coded blocks of a segment re-encodes by drawing
+  ``l`` random coefficients in GF(2^8) and emitting the combination
+  ``x = sum_j c_j * b_j`` (:func:`recode`),
+- the coefficients embedded in block headers are maintained with respect to
+  the *original* blocks, so recoding composes: the emitted block's header
+  vector is the same linear combination of the input headers,
+- a :class:`SegmentDecoder` (thin wrapper over
+  :class:`repro.coding.linalg.IncrementalDecoder`) accumulates blocks until
+  ``s`` linearly independent ones arrive and then reconstructs the original
+  payloads.
+
+Randomness is injected explicitly (``numpy.random.Generator`` or
+``random.Random``); nothing in this module touches global RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding import gf256
+from repro.coding.block import CodedBlock, SegmentDescriptor
+from repro.coding.linalg import IncrementalDecoder
+
+
+def _draw_coefficients(rng, count: int) -> np.ndarray:
+    """Draw *count* uniform GF(256) coefficients, rejecting the all-zero draw.
+
+    An all-zero combination would emit the zero block, which carries no
+    information; resampling keeps the output distribution uniform over the
+    remaining 256^count - 1 vectors.
+    """
+    if count < 1:
+        raise ValueError(f"cannot draw coefficients for {count} blocks")
+    while True:
+        if hasattr(rng, "integers"):
+            coeffs = rng.integers(0, 256, size=count, dtype=np.uint8)
+        else:
+            coeffs = np.array(
+                [rng.randrange(256) for _ in range(count)], dtype=np.uint8
+            )
+        if coeffs.any():
+            return coeffs
+
+
+def recode(blocks: Sequence[CodedBlock], rng, created_at: float = 0.0) -> CodedBlock:
+    """Produce one new coded block from the holder's *blocks* of a segment.
+
+    All inputs must be live coded blocks of the same segment.  The output's
+    header coefficients are expressed over the segment's original blocks, and
+    its payload (if the inputs carry payloads) is the matching combination of
+    the input payloads.
+    """
+    if not blocks:
+        raise ValueError("cannot recode from an empty block set")
+    segment = blocks[0].segment
+    for block in blocks:
+        if block.segment is not segment and block.segment != segment:
+            raise ValueError("recode inputs must belong to a single segment")
+        if not block.is_coded:
+            raise ValueError("recode requires explicit coefficient vectors")
+    local = _draw_coefficients(rng, len(blocks))
+    coefficients = np.zeros(segment.size, dtype=np.uint8)
+    for scalar, block in zip(local, blocks):
+        if scalar:
+            gf256.vec_addmul(coefficients, block.coefficients, int(scalar))
+    payload: Optional[np.ndarray] = None
+    if all(block.payload is not None for block in blocks):
+        payload = np.zeros_like(blocks[0].payload)
+        for scalar, block in zip(local, blocks):
+            if scalar:
+                gf256.vec_addmul(payload, block.payload, int(scalar))
+    return CodedBlock(
+        segment=segment,
+        coefficients=coefficients,
+        payload=payload,
+        created_at=created_at,
+    )
+
+
+def encode_from_source(
+    segment: SegmentDescriptor,
+    payloads: np.ndarray,
+    rng,
+    created_at: float = 0.0,
+) -> CodedBlock:
+    """Encode one coded block directly from a segment's original payloads."""
+    payloads = np.atleast_2d(np.asarray(payloads)).astype(np.uint8)
+    if payloads.shape[0] != segment.size:
+        raise ValueError(
+            f"expected {segment.size} original rows, got {payloads.shape[0]}"
+        )
+    coefficients = _draw_coefficients(rng, segment.size)
+    payload = np.zeros(payloads.shape[1], dtype=np.uint8)
+    for index in range(segment.size):
+        scalar = int(coefficients[index])
+        if scalar:
+            gf256.vec_addmul(payload, payloads[index], scalar)
+    return CodedBlock(
+        segment=segment,
+        coefficients=coefficients,
+        payload=payload,
+        created_at=created_at,
+    )
+
+
+class SegmentDecoder:
+    """Server-side accumulator of coded blocks for one segment.
+
+    Wraps :class:`IncrementalDecoder` with block-level bookkeeping: counts of
+    offered/innovative/redundant blocks and completion timestamping, which the
+    collection metrics read directly.
+    """
+
+    def __init__(self, segment: SegmentDescriptor) -> None:
+        self.segment = segment
+        self._decoder = IncrementalDecoder(segment.size)
+        self.offered = 0
+        self.redundant = 0
+        self.completed_at: Optional[float] = None
+
+    @property
+    def rank(self) -> int:
+        """Linearly independent blocks collected so far."""
+        return self._decoder.rank
+
+    @property
+    def is_complete(self) -> bool:
+        """True once the segment is decodable at the servers."""
+        return self._decoder.is_complete
+
+    def offer(self, block: CodedBlock, now: float) -> bool:
+        """Feed one received coded block; return True iff it was innovative."""
+        if block.segment.segment_id != self.segment.segment_id:
+            raise ValueError(
+                f"block of segment {block.segment.segment_id} offered to "
+                f"decoder of segment {self.segment.segment_id}"
+            )
+        if not block.is_coded:
+            raise ValueError("SegmentDecoder requires coded blocks")
+        self.offered += 1
+        innovative = self._decoder.add(block.coefficients, block.payload)
+        if not innovative:
+            self.redundant += 1
+        elif self.is_complete and self.completed_at is None:
+            self.completed_at = now
+        return innovative
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the original payload rows; see IncrementalDecoder."""
+        return self._decoder.decode()
+
+
+def rank_of_blocks(blocks: Sequence[CodedBlock]) -> int:
+    """Rank of the coefficient vectors of *blocks* (0 for an empty list).
+
+    Used by peers in full-RLNC mode to answer "how many linearly independent
+    blocks of this segment do I hold?" after arbitrary TTL deletions.
+    """
+    coded = [b for b in blocks if b.is_coded]
+    if len(coded) != len(blocks):
+        raise ValueError("rank_of_blocks requires coded blocks")
+    if not coded:
+        return 0
+    from repro.coding.linalg import rank as matrix_rank
+
+    matrix = np.stack([b.coefficients for b in coded])
+    return matrix_rank(matrix)
+
+
+def innovation_probability(
+    holder_blocks: List[CodedBlock],
+    receiver_matrix: np.ndarray,
+    rng,
+    trials: int = 200,
+) -> float:
+    """Monte-Carlo estimate that a recoded block is innovative to a receiver.
+
+    Supports the E-ABL-CODE ablation: the paper (and our abstract mode)
+    assumes every coded block is innovative whenever the receiver's rank is
+    below ``s``; this measures how close real GF(2^8) coding comes.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    receiver_matrix = np.atleast_2d(receiver_matrix).astype(np.uint8)
+    base = IncrementalDecoder(holder_blocks[0].segment.size)
+    for row in receiver_matrix:
+        if row.any():
+            base.add(row)
+    hits = 0
+    for _ in range(trials):
+        candidate = recode(holder_blocks, rng)
+        if base.would_be_innovative(candidate.coefficients):
+            hits += 1
+    return hits / trials

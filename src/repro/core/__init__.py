@@ -1,0 +1,32 @@
+"""Core protocol: parameters, peers, gossip, servers, and the two systems."""
+
+from repro.core.baseline import DirectCollectionSystem
+from repro.core.gossip import GossipProtocol
+from repro.core.params import MODE_ABSTRACT, MODE_RLNC, Parameters
+from repro.core.peer import Peer, SegmentHolding
+from repro.core.push import PushCollectionSystem
+from repro.core.segments import SegmentRegistry, SegmentState
+from repro.core.server import LoggingServer, ServerPool
+from repro.core.system import (
+    CollectionSystem,
+    PostmortemReport,
+    SourceRecovery,
+)
+
+__all__ = [
+    "DirectCollectionSystem",
+    "GossipProtocol",
+    "MODE_ABSTRACT",
+    "MODE_RLNC",
+    "Parameters",
+    "Peer",
+    "SegmentHolding",
+    "SegmentRegistry",
+    "SegmentState",
+    "LoggingServer",
+    "ServerPool",
+    "CollectionSystem",
+    "PostmortemReport",
+    "PushCollectionSystem",
+    "SourceRecovery",
+]

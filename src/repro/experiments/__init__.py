@@ -1,0 +1,77 @@
+"""Experiment harness: one runner per paper figure plus ablations.
+
+====================  =====================================================
+runner                regenerates
+====================  =====================================================
+``run_fig3``          Fig. 3 — throughput vs segment size
+``run_fig4``          Fig. 4 — throughput vs mu under churn
+``run_fig5``          Fig. 5 — block delivery delay vs segment size
+``run_fig6``          Fig. 6 — data saved per peer vs segment size
+``run_theorem1``      Theorem 1 — storage overhead validation
+``run_baseline_comparison``  Fig. 1(a) vs 1(b) flash-crowd head-to-head
+``run_transient``     flash crowd: fluid (ODE) limit vs event simulation
+``run_*_ablation``    design-choice ablations (TTL, buffer, selection,
+                      scheduler, RLNC, topology)
+====================  =====================================================
+
+Supporting machinery: quality budgets and :class:`SeriesResult`
+(:mod:`repro.experiments.base`), and cross-run regression diffing
+(:mod:`repro.experiments.regression`).
+"""
+
+from repro.experiments.ablations import (
+    run_buffer_ablation,
+    run_coding_ablation,
+    run_scheduler_ablation,
+    run_selection_ablation,
+    run_topology_ablation,
+    run_ttl_ablation,
+)
+from repro.experiments.base import (
+    BUDGETS,
+    QUALITY_FAST,
+    QUALITY_FULL,
+    SeriesResult,
+    SimBudget,
+    budget_for,
+    simulate_metrics,
+)
+from repro.experiments.baseline import FlashCrowdScenario, run_baseline_comparison
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.regression import (
+    ComparisonReport,
+    compare_archives,
+    compare_results,
+)
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.theorem1 import run_theorem1
+from repro.experiments.transient import run_transient
+
+__all__ = [
+    "run_buffer_ablation",
+    "run_scheduler_ablation",
+    "run_topology_ablation",
+    "run_coding_ablation",
+    "run_selection_ablation",
+    "run_ttl_ablation",
+    "BUDGETS",
+    "QUALITY_FAST",
+    "QUALITY_FULL",
+    "SeriesResult",
+    "SimBudget",
+    "budget_for",
+    "simulate_metrics",
+    "FlashCrowdScenario",
+    "run_baseline_comparison",
+    "run_fig3",
+    "ComparisonReport",
+    "compare_archives",
+    "compare_results",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_theorem1",
+    "run_transient",
+]

@@ -1,0 +1,165 @@
+"""Shared experiment machinery: quality presets, sweeps, result records.
+
+Every figure runner produces a :class:`SeriesResult` — one x-axis sweep with
+several labelled y-series, which is exactly the structure of each figure in
+the paper.  Results render as ASCII tables (for the benchmark logs and
+EXPERIMENTS.md) and serialize to JSON (for archival/regression diffing).
+
+Two quality presets control cost:
+
+- ``fast`` — small network, single seed, coarse sweep; minutes of CPU.
+  Used by the pytest-benchmark harness and CI.
+- ``full`` — paper-scale sweep with seed replication; tens of minutes.
+  Used to produce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.params import Parameters
+from repro.core.system import CollectionSystem
+from repro.util.summary import summarize
+from repro.util.tables import render_series
+
+QUALITY_FAST = "fast"
+QUALITY_FULL = "full"
+VALID_QUALITIES = (QUALITY_FAST, QUALITY_FULL)
+
+
+@dataclass(frozen=True)
+class SimBudget:
+    """Simulation sizing for one quality level."""
+
+    n_peers: int
+    warmup: float
+    duration: float
+    seeds: Tuple[int, ...]
+    n_servers: int = 4
+
+
+#: Default budgets.  The paper does not state its simulated N; these sizes
+#: are chosen so that finite-N noise is well below the effects being shown
+#: (validated by the convergence tests).
+BUDGETS: Dict[str, SimBudget] = {
+    QUALITY_FAST: SimBudget(n_peers=120, warmup=12.0, duration=16.0, seeds=(1,)),
+    QUALITY_FULL: SimBudget(
+        n_peers=250, warmup=20.0, duration=32.0, seeds=(1, 2)
+    ),
+}
+
+
+def budget_for(quality: str) -> SimBudget:
+    """Look up the :class:`SimBudget` for *quality* (raises on typos)."""
+    if quality not in BUDGETS:
+        raise ValueError(
+            f"quality must be one of {sorted(BUDGETS)}, got {quality!r}"
+        )
+    return BUDGETS[quality]
+
+
+@dataclass
+class SeriesResult:
+    """One figure's worth of reproduced data."""
+
+    name: str
+    title: str
+    x_name: str
+    x_values: List[float]
+    series: "Dict[str, List[Optional[float]]]" = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, label: str, values: Sequence[Optional[float]]) -> None:
+        """Attach one labelled y-series aligned with the x sweep."""
+        values = list(values)
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points, x-axis has "
+                f"{len(self.x_values)}"
+            )
+        if label in self.series:
+            raise ValueError(f"duplicate series label {label!r}")
+        self.series[label] = values
+
+    def add_note(self, note: str) -> None:
+        """Record a free-form caveat shown under the table."""
+        self.notes.append(note)
+
+    def to_table(self, float_fmt: str = "{:.4f}") -> str:
+        """Render as an aligned ASCII table (plus notes)."""
+        table = render_series(
+            self.x_name,
+            self.x_values,
+            [(label, values) for label, values in self.series.items()],
+            title=self.title,
+            float_fmt=float_fmt,
+        )
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return table
+
+    def to_json(self) -> str:
+        """Serialize to JSON (NaN-safe: None stays null)."""
+        payload = {
+            "name": self.name,
+            "title": self.title,
+            "x_name": self.x_name,
+            "x_values": self.x_values,
+            "series": {
+                label: [
+                    None if v is None or (isinstance(v, float) and math.isnan(v))
+                    else v
+                    for v in values
+                ]
+                for label, values in self.series.items()
+            },
+            "notes": self.notes,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SeriesResult":
+        """Round-trip counterpart of :meth:`to_json`."""
+        payload = json.loads(text)
+        result = cls(
+            name=payload["name"],
+            title=payload["title"],
+            x_name=payload["x_name"],
+            x_values=payload["x_values"],
+        )
+        for label, values in payload["series"].items():
+            result.add_series(label, values)
+        for note in payload.get("notes", []):
+            result.add_note(note)
+        return result
+
+
+def simulate_metrics(
+    params: Parameters,
+    budget: SimBudget,
+    metrics: Sequence[str],
+    workload=None,
+) -> Dict[str, float]:
+    """Run one parameter point over the budget's seeds; mean each metric.
+
+    *metrics* names attributes of :class:`repro.sim.metrics.MetricsReport`.
+    ``None``-valued samples (e.g. no delay observations) are dropped; if a
+    metric has no valid samples at all its mean is ``nan``.
+    """
+    samples: Dict[str, List[float]] = {name: [] for name in metrics}
+    for seed in budget.seeds:
+        system = CollectionSystem(params, seed=seed, workload=workload)
+        report = system.run(budget.warmup, budget.duration)
+        for name in metrics:
+            value = getattr(report, name)
+            if value is not None and not (
+                isinstance(value, float) and math.isnan(value)
+            ):
+                samples[name].append(float(value))
+    out: Dict[str, float] = {}
+    for name, values in samples.items():
+        out[name] = summarize(values).mean if values else math.nan
+    return out

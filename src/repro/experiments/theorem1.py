@@ -1,0 +1,117 @@
+"""E-T1 — Theorem 1: storage overhead and buffer occupancy validation.
+
+Theorem 1 states that in steady state the average number of buffered coded
+blocks per peer is ``rho = (1 - z0) mu/gamma + lambda/gamma`` regardless of
+the segment size, with gossip-attributable overhead ``(1 - z0) mu/gamma``
+bounded by ``mu/gamma`` — the knob the operator turns to budget peer memory
+(the paper keeps ``mu/gamma`` under 20 in its simulations).
+
+This experiment sweeps segment size and compares three independent values
+of occupancy and the empty-peer fraction:
+
+- ``closed form`` — the fixed point z0 = exp(-(1-z0) mu/gamma - lambda/gamma),
+- ``ODE`` — the steady state of Eq. (7),
+- ``sim`` — the time-averaged measurement from the protocol simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.ode import CollectionODE
+from repro.analysis.theorems import theorem1_storage
+from repro.core.params import Parameters
+from repro.experiments.base import (
+    QUALITY_FAST,
+    SeriesResult,
+    SimBudget,
+    budget_for,
+    simulate_metrics,
+)
+from repro.experiments.fig3 import ARRIVAL_RATE, DELETION_RATE, GOSSIP_RATE
+
+SEGMENT_SIZES = {
+    "fast": (1, 5, 20),
+    "full": (1, 2, 5, 10, 20, 40),
+}
+#: any c works for Theorem 1 (collection does not change buffering); use a
+#: mid-range value so the same runs double as a throughput sanity check.
+CAPACITY = 8.0
+
+
+def run_theorem1(
+    quality: str = QUALITY_FAST,
+    segment_sizes: Optional[Sequence[int]] = None,
+    budget: Optional[SimBudget] = None,
+) -> SeriesResult:
+    """Validate Theorem 1's occupancy/overhead across segment sizes."""
+    if segment_sizes is None:
+        segment_sizes = SEGMENT_SIZES["full" if quality == "full" else "fast"]
+    budget = budget or budget_for(quality)
+    closed = theorem1_storage(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE)
+
+    result = SeriesResult(
+        name="theorem1",
+        title=(
+            "Theorem 1 — buffer occupancy rho and storage overhead "
+            f"(lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
+            f"gamma={DELETION_RATE:g}; bound mu/gamma="
+            f"{GOSSIP_RATE / DELETION_RATE:g})"
+        ),
+        x_name="s",
+        x_values=[float(s) for s in segment_sizes],
+    )
+    n_points = len(segment_sizes)
+    result.add_series("closed-form rho", [closed.occupancy] * n_points)
+    result.add_series("closed-form z0", [closed.z0] * n_points)
+
+    ode_rho, ode_z0 = [], []
+    for s in segment_sizes:
+        model = CollectionODE(
+            ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, CAPACITY
+        )
+        z, _ = model.steady_z()
+        degrees = range(len(z))
+        ode_rho.append(float(sum(i * z[i] for i in degrees)))
+        ode_z0.append(float(z[0]))
+    result.add_series("ODE rho", ode_rho)
+    result.add_series("ODE z0", ode_z0)
+
+    sim_rho, sim_z0, sim_overhead = [], [], []
+    for s in segment_sizes:
+        params = Parameters(
+            n_peers=budget.n_peers,
+            arrival_rate=ARRIVAL_RATE,
+            gossip_rate=GOSSIP_RATE,
+            deletion_rate=DELETION_RATE,
+            normalized_capacity=CAPACITY,
+            segment_size=s,
+            n_servers=budget.n_servers,
+        )
+        metrics = simulate_metrics(
+            params,
+            budget,
+            ("mean_buffer_occupancy", "empty_peer_fraction", "storage_overhead"),
+        )
+        sim_rho.append(metrics["mean_buffer_occupancy"])
+        sim_z0.append(metrics["empty_peer_fraction"])
+        sim_overhead.append(metrics["storage_overhead"])
+    result.add_series("sim rho", sim_rho)
+    result.add_series("sim z0", sim_z0)
+    result.add_series("sim overhead", sim_overhead)
+    result.add_note(
+        "Theorem 1 claims rho is independent of s and overhead < mu/gamma "
+        f"= {GOSSIP_RATE / DELETION_RATE:g}"
+    )
+    return result
+
+
+def main(quality: str = QUALITY_FAST) -> SeriesResult:
+    """CLI entry: run and print the table."""
+    result = run_theorem1(quality)
+    print(result.to_table())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,250 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: a binary heap of ``(time, sequence, event)``
+entries with O(log n) scheduling, lazy cancellation, and helpers for the
+Poisson (exponential-clock) processes that make up the entire protocol model
+(segment injection at rate ``lambda/s``, gossip at rate ``mu``, server pulls
+at rate ``c_s``, TTL expiry at rate ``gamma``, churn at rate ``1/L``).
+
+The engine is deliberately single-threaded and deterministic: given the same
+seeds and the same schedule of calls, two runs produce identical event
+orderings (ties in time are broken by insertion sequence).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.rng import exponential
+
+Action = Callable[[], None]
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "action", "cancelled")
+
+    def __init__(self, time: float, action: Optional[Action]) -> None:
+        self.time = time
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+        self.action = None  # break reference cycles early
+
+
+class Simulator:
+    """Event loop with a virtual clock starting at time 0.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fired at", sim.now))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._stopped = False
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far (diagnostics and perf accounting)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued, including not-yet-collected cancelled ones."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, action: Action) -> EventHandle:
+        """Run *action* after *delay* time units; returns a cancellable handle."""
+        if not math.isfinite(delay) or delay < 0:
+            raise ValueError(f"delay must be finite and >= 0, got {delay!r}")
+        return self.schedule_at(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Action) -> EventHandle:
+        """Run *action* at absolute *time* (>= now)."""
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        handle = EventHandle(time, action)
+        heapq.heappush(self._heap, (time, next(self._sequence), handle))
+        return handle
+
+    def stop(self) -> None:
+        """Request the current ``run_until`` call to return after this event."""
+        self._stopped = True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Execute events with time <= *end_time* in order; advance the clock.
+
+        Returns the number of events executed.  The clock lands exactly on
+        *end_time* when the queue drains or only later events remain, so
+        time-integrated metrics always cover the full horizon.  *max_events*
+        is a safety valve for runaway schedules (raises RuntimeError).
+        """
+        if end_time < self.now:
+            raise ValueError(f"end_time {end_time} is before now {self.now}")
+        executed = 0
+        self._stopped = False
+        heap = self._heap
+        while heap:
+            time, _, handle = heap[0]
+            if time > end_time:
+                break
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            action = handle.action
+            handle.action = None
+            action()
+            executed += 1
+            self._events_processed += 1
+            if self._stopped:
+                # Leave the clock at the stopping event's time.
+                return executed
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"run_until executed {executed} events without reaching "
+                    f"t={end_time}; runaway schedule?"
+                )
+        self.now = end_time
+        return executed
+
+
+class PoissonProcess:
+    """Self-rescheduling exponential clock driving a recurring action.
+
+    Fires ``action()`` at the points of a Poisson process with the given
+    *rate*.  The rate can be changed on the fly (``set_rate``), which, by the
+    memorylessness of the exponential clock, simply means the *next* gap is
+    drawn at the new rate.  A rate of 0 parks the process until a positive
+    rate is set again.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        rate: float,
+        action: Action,
+        start: bool = True,
+    ) -> None:
+        if rate < 0 or not math.isfinite(rate):
+            raise ValueError(f"rate must be finite and >= 0, got {rate!r}")
+        self._sim = sim
+        self._rng = rng
+        self._rate = rate
+        self._action = action
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        if start:
+            self.start()
+
+    @property
+    def rate(self) -> float:
+        """Current firing rate (events per unit time)."""
+        return self._rate
+
+    @property
+    def is_running(self) -> bool:
+        """True while the clock is armed."""
+        return self._running
+
+    def start(self) -> None:
+        """Arm the clock (no-op if already running)."""
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Disarm the clock; pending fire is cancelled."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def set_rate(self, rate: float) -> None:
+        """Change the firing rate, rescheduling the next fire accordingly."""
+        if rate < 0 or not math.isfinite(rate):
+            raise ValueError(f"rate must be finite and >= 0, got {rate!r}")
+        self._rate = rate
+        if self._running:
+            if self._handle is not None:
+                self._handle.cancel()
+                self._handle = None
+            self._arm()
+
+    def _arm(self) -> None:
+        if not self._running or self._rate <= 0:
+            return
+        gap = exponential(self._rng, self._rate)
+        if not math.isfinite(gap):
+            # A subnormal rate can overflow expovariate to infinity; such a
+            # clock will effectively never fire — park it (set_rate re-arms).
+            return
+        self._handle = self._sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        self._handle = None
+        # Re-arm before running the action so the action may stop/retime the
+        # process and have that take effect immediately.
+        self._arm()
+        self._action()
+
+
+class ThinnedPoissonProcess(PoissonProcess):
+    """Non-homogeneous Poisson process via Lewis-Shedler thinning.
+
+    Fires at time-varying rate ``rate_fn(t) <= max_rate``.  Used for the
+    flash-crowd and diurnal workloads where the statistics-generation rate
+    ``lambda(t)`` fluctuates — the core phenomenon the paper's buffering zone
+    absorbs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        max_rate: float,
+        rate_fn: Callable[[float], float],
+        action: Action,
+        start: bool = True,
+    ) -> None:
+        if max_rate <= 0 or not math.isfinite(max_rate):
+            raise ValueError(f"max_rate must be finite and > 0, got {max_rate!r}")
+        self._rate_fn = rate_fn
+        self._max_rate = max_rate
+        self._thinning_rng = rng
+        self._user_action = action
+        super().__init__(sim, rng, max_rate, self._maybe_fire, start=start)
+
+    def _maybe_fire(self) -> None:
+        current = self._rate_fn(self._sim.now)
+        if current < 0:
+            raise ValueError(
+                f"rate_fn returned negative rate {current} at t={self._sim.now}"
+            )
+        if current > self._max_rate * (1 + 1e-9):
+            raise ValueError(
+                f"rate_fn returned {current} above max_rate {self._max_rate} "
+                f"at t={self._sim.now}"
+            )
+        if self._thinning_rng.random() * self._max_rate <= current:
+            self._user_action()

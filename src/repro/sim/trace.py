@@ -1,0 +1,185 @@
+"""Structured event tracing for collection simulations.
+
+Attach a :class:`Tracer` to a :class:`repro.core.system.CollectionSystem`
+to capture the protocol's life events — injections, gossip transfers, TTL
+expiries, departures, useful pulls, completions, losses — as structured
+records.  Intended uses:
+
+- debugging protocol changes (replay exactly what happened and when),
+- producing event logs for external analysis (JSONL export),
+- teaching: the quickstart-with-tracing recipe in the README shows a
+  segment's life from injection through gossip spread to server decode.
+
+Tracing is strictly opt-in: an untraced system performs zero tracing work.
+The tracer can cap memory with a ring buffer and narrow capture to an
+event-kind allowlist; per-kind counters always cover the full run even
+when the ring has evicted old events.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional
+
+#: Canonical event kinds emitted by the instrumented system.
+KIND_INJECT = "inject"
+KIND_GOSSIP = "gossip"
+KIND_EXPIRE = "expire"
+KIND_DEPART = "depart"
+KIND_COLLECT = "collect"
+KIND_COMPLETE = "complete"
+KIND_LOST = "lost"
+ALL_KINDS = frozenset(
+    {
+        KIND_INJECT,
+        KIND_GOSSIP,
+        KIND_EXPIRE,
+        KIND_DEPART,
+        KIND_COLLECT,
+        KIND_COMPLETE,
+        KIND_LOST,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One captured protocol event."""
+
+    time: float
+    kind: str
+    peer: Optional[int] = None
+    segment: Optional[int] = None
+    detail: Optional[Dict[str, float]] = None
+
+    def as_dict(self) -> Dict:
+        """JSON-ready representation (omits empty fields)."""
+        out: Dict = {"time": self.time, "kind": self.kind}
+        if self.peer is not None:
+            out["peer"] = self.peer
+        if self.segment is not None:
+            out["segment"] = self.segment
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+class Tracer:
+    """Event sink with optional ring buffer and kind filtering.
+
+    Args:
+        max_events: keep only the most recent events (None = unbounded).
+        kinds: capture only these kinds (None = all).  Unknown kind names
+            are rejected eagerly — a typo would otherwise silently capture
+            nothing.
+    """
+
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        if kinds is not None:
+            kinds = frozenset(kinds)
+            unknown = kinds - ALL_KINDS
+            if unknown:
+                raise ValueError(
+                    f"unknown trace kinds {sorted(unknown)}; "
+                    f"valid kinds: {sorted(ALL_KINDS)}"
+                )
+        self._kinds: Optional[FrozenSet[str]] = kinds
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self.counts: Dict[str, int] = {}
+        self.dropped = 0
+
+    def wants(self, kind: str) -> bool:
+        """Cheap pre-check so instrumented code can skip building details."""
+        return self._kinds is None or kind in self._kinds
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        peer: Optional[int] = None,
+        segment: Optional[int] = None,
+        **detail: float,
+    ) -> None:
+        """Capture one event (no-op if the kind is filtered out)."""
+        if not self.wants(kind):
+            return
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(
+                time=time,
+                kind=kind,
+                peer=peer,
+                segment=segment,
+                detail=dict(detail) if detail else None,
+            )
+        )
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Captured events in chronological order (copy)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Captured events of one kind."""
+        return [event for event in self._events if event.kind == kind]
+
+    def for_segment(self, segment_id: int) -> List[TraceEvent]:
+        """A segment's captured life, from injection to completion/loss."""
+        return [
+            event for event in self._events if event.segment == segment_id
+        ]
+
+    def for_peer(self, slot: int) -> List[TraceEvent]:
+        """Captured events touching one peer slot."""
+        return [event for event in self._events if event.peer == slot]
+
+    def to_jsonl(self, path) -> int:
+        """Write captured events as JSON Lines; returns the event count."""
+        events = self.events
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(events)
+
+    @staticmethod
+    def read_jsonl(path) -> List[TraceEvent]:
+        """Load events written by :meth:`to_jsonl`."""
+        events: List[TraceEvent] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                events.append(
+                    TraceEvent(
+                        time=payload["time"],
+                        kind=payload["kind"],
+                        peer=payload.get("peer"),
+                        segment=payload.get("segment"),
+                        detail=payload.get("detail"),
+                    )
+                )
+        return events
+
+    def summary(self) -> str:
+        """One-line per-kind count summary."""
+        parts = [f"{kind}={count}" for kind, count in sorted(self.counts.items())]
+        suffix = f" (ring dropped {self.dropped})" if self.dropped else ""
+        return ", ".join(parts) + suffix

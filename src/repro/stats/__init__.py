@@ -1,0 +1,49 @@
+"""Statistics payloads, generation workloads, and operator analytics."""
+
+from repro.stats.aggregate import (
+    FieldSummary,
+    OutageReport,
+    PeerHealth,
+    compare_cohorts,
+    detect_outage,
+    fleet_health,
+    group_by_peer,
+    summarize_peer,
+)
+from repro.stats.records import (
+    FLAG_REBUFFERING,
+    RECORD_SIZE,
+    RecordCodec,
+    StatsRecord,
+    synthesize_records,
+)
+from repro.stats.workload import (
+    ConstantWorkload,
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    PiecewiseWorkload,
+    ShutoffWorkload,
+    Workload,
+)
+
+__all__ = [
+    "FieldSummary",
+    "OutageReport",
+    "PeerHealth",
+    "compare_cohorts",
+    "detect_outage",
+    "fleet_health",
+    "group_by_peer",
+    "summarize_peer",
+    "FLAG_REBUFFERING",
+    "RECORD_SIZE",
+    "RecordCodec",
+    "StatsRecord",
+    "synthesize_records",
+    "ConstantWorkload",
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
+    "PiecewiseWorkload",
+    "ShutoffWorkload",
+    "Workload",
+]

@@ -1,0 +1,182 @@
+"""Operator-side analytics over recovered telemetry records.
+
+Collecting the logs is half the story the paper tells; the other half is
+what "network administrators and analysts" (Sec. 1) do with them: rank
+peers by streaming health, find outage cohorts, and compare the telemetry
+of departed peers against the survivors.  This module provides those
+analytics over :class:`repro.stats.records.StatsRecord` streams, so the
+examples (and downstream users) can close the loop from coded blocks back
+to diagnosis.
+
+Everything here is pure computation over record lists — no simulator
+coupling — and deliberately dependency-light (plain Python, no pandas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.stats.records import StatsRecord
+from repro.util.summary import percentile as _percentile
+
+
+@dataclass(frozen=True)
+class FieldSummary:
+    """Distributional summary of one numeric telemetry field."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "FieldSummary":
+        data = sorted(float(v) for v in values)
+        if not data:
+            raise ValueError("cannot summarize an empty field")
+        return cls(
+            count=len(data),
+            mean=sum(data) / len(data),
+            p50=_percentile(data, 50.0),
+            p95=_percentile(data, 95.0),
+            minimum=data[0],
+            maximum=data[-1],
+        )
+
+
+@dataclass(frozen=True)
+class PeerHealth:
+    """Health profile of one peer derived from its recovered records."""
+
+    peer_id: int
+    records: int
+    buffer_level: FieldSummary
+    loss_fraction: FieldSummary
+    download_rate: FieldSummary
+    rebuffering_fraction: float
+    first_seen: float
+    last_seen: float
+
+    @property
+    def health_score(self) -> float:
+        """0 (dire) .. 1 (healthy): buffer-, loss- and rebuffer-weighted.
+
+        A coarse composite for ranking; each component is clamped to [0, 1].
+        """
+        buffer_term = min(self.buffer_level.p50 / 10.0, 1.0)
+        loss_term = 1.0 - min(self.loss_fraction.mean / 0.2, 1.0)
+        rebuffer_term = 1.0 - self.rebuffering_fraction
+        return (buffer_term + loss_term + rebuffer_term) / 3.0
+
+    @property
+    def is_degraded(self) -> bool:
+        """Operational rule of thumb for 'this peer was suffering'."""
+        return self.health_score < 0.5
+
+
+def summarize_peer(peer_id: int, records: Sequence[StatsRecord]) -> PeerHealth:
+    """Build one peer's health profile; raises on empty input."""
+    if not records:
+        raise ValueError(f"no records for peer {peer_id}")
+    for record in records:
+        if record.peer_id != peer_id:
+            raise ValueError(
+                f"record of peer {record.peer_id} passed to summary of "
+                f"peer {peer_id}"
+            )
+    return PeerHealth(
+        peer_id=peer_id,
+        records=len(records),
+        buffer_level=FieldSummary.from_values([r.buffer_level for r in records]),
+        loss_fraction=FieldSummary.from_values([r.loss_fraction for r in records]),
+        download_rate=FieldSummary.from_values([r.download_rate for r in records]),
+        rebuffering_fraction=sum(1 for r in records if r.rebuffering)
+        / len(records),
+        first_seen=min(r.timestamp for r in records),
+        last_seen=max(r.timestamp for r in records),
+    )
+
+
+def group_by_peer(records: Iterable[StatsRecord]) -> Dict[int, List[StatsRecord]]:
+    """Index a recovered record stream by peer id."""
+    grouped: Dict[int, List[StatsRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.peer_id, []).append(record)
+    return grouped
+
+
+def fleet_health(records: Iterable[StatsRecord]) -> List[PeerHealth]:
+    """Per-peer health profiles for an entire recovered stream, sorted from
+    least to most healthy (triage order)."""
+    profiles = [
+        summarize_peer(peer_id, peer_records)
+        for peer_id, peer_records in group_by_peer(records).items()
+    ]
+    profiles.sort(key=lambda p: p.health_score)
+    return profiles
+
+
+@dataclass(frozen=True)
+class OutageReport:
+    """Cohort analysis: degraded versus healthy peers in one session."""
+
+    degraded: List[PeerHealth]
+    healthy: List[PeerHealth]
+
+    @property
+    def degraded_fraction(self) -> float:
+        total = len(self.degraded) + len(self.healthy)
+        return len(self.degraded) / total if total else 0.0
+
+    def loss_gap(self) -> Optional[float]:
+        """Mean loss of the degraded cohort minus the healthy cohort."""
+        if not self.degraded or not self.healthy:
+            return None
+        degraded_loss = sum(p.loss_fraction.mean for p in self.degraded) / len(
+            self.degraded
+        )
+        healthy_loss = sum(p.loss_fraction.mean for p in self.healthy) / len(
+            self.healthy
+        )
+        return degraded_loss - healthy_loss
+
+
+def detect_outage(records: Iterable[StatsRecord]) -> OutageReport:
+    """Split the fleet into degraded/healthy cohorts by health score."""
+    profiles = fleet_health(records)
+    return OutageReport(
+        degraded=[p for p in profiles if p.is_degraded],
+        healthy=[p for p in profiles if not p.is_degraded],
+    )
+
+
+def compare_cohorts(
+    cohort_a: Iterable[StatsRecord],
+    cohort_b: Iterable[StatsRecord],
+) -> Dict[str, Tuple[float, float]]:
+    """Field-by-field mean comparison of two record cohorts.
+
+    Returns {field: (mean_a, mean_b)} for the numeric health fields — e.g.
+    departed peers' records versus survivors', the comparison the paper's
+    postmortem motivation calls for.
+    """
+    a = list(cohort_a)
+    b = list(cohort_b)
+    if not a or not b:
+        raise ValueError("both cohorts must be non-empty")
+
+    def means(records: List[StatsRecord]) -> Dict[str, float]:
+        n = len(records)
+        return {
+            "buffer_level": sum(r.buffer_level for r in records) / n,
+            "loss_fraction": sum(r.loss_fraction for r in records) / n,
+            "download_rate": sum(r.download_rate for r in records) / n,
+            "playback_delay": sum(r.playback_delay for r in records) / n,
+            "rebuffering": sum(1.0 for r in records if r.rebuffering) / n,
+        }
+
+    means_a, means_b = means(a), means(b)
+    return {field: (means_a[field], means_b[field]) for field in means_a}

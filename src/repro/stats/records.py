@@ -1,0 +1,259 @@
+"""Vital-statistics records: the data the collection system actually carries.
+
+The paper motivates the whole mechanism with commercial P2P live-streaming
+telemetry ("measurements of important performance metrics in the P2P
+application at each peer", Sec. 1, citing the UUSee measurement studies).
+This module defines a realistic such record — per-peer streaming health
+metrics — together with a fixed-size binary codec so records pack into the
+constant-size blocks that network coding requires.
+
+Layout (big-endian, 40 bytes per record):
+
+====== ======== =======================================
+offset format   field
+====== ======== =======================================
+0      ``>d``   timestamp (seconds)
+8      ``>I``   peer id
+12     ``>I``   session id
+16     ``>f``   buffer level (seconds of media)
+20     ``>f``   download rate (kbps)
+24     ``>f``   upload rate (kbps)
+28     ``>f``   packet loss fraction
+32     ``>f``   playback delay (seconds)
+36     ``>H``   connected-neighbor count
+38     ``>H``   flags (bit 0: rebuffering)
+====== ======== =======================================
+
+Records are padded into blocks of ``block_size`` bytes with a 4-byte record
+count header, so a decoded block always yields exactly the records that were
+packed into it.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+RECORD_STRUCT = struct.Struct(">dIIfffffHH")
+RECORD_SIZE = RECORD_STRUCT.size  # 40 bytes
+BLOCK_HEADER_STRUCT = struct.Struct(">I")
+
+FLAG_REBUFFERING = 0x0001
+
+
+@dataclass(frozen=True)
+class StatsRecord:
+    """One telemetry sample from one peer."""
+
+    timestamp: float
+    peer_id: int
+    session_id: int
+    buffer_level: float
+    download_rate: float
+    upload_rate: float
+    loss_fraction: float
+    playback_delay: float
+    neighbor_count: int
+    rebuffering: bool = False
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.timestamp):
+            raise ValueError(f"timestamp must be finite, got {self.timestamp!r}")
+        for name in (
+            "buffer_level",
+            "download_rate",
+            "upload_rate",
+            "playback_delay",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be finite and >= 0, got {value!r}")
+            # The wire format stores these as float32; quantize eagerly so a
+            # record always equals its serialized round-trip.
+            object.__setattr__(self, name, float(np.float32(value)))
+        if not 0.0 <= self.loss_fraction <= 1.0:
+            raise ValueError(
+                f"loss_fraction must lie in [0, 1], got {self.loss_fraction!r}"
+            )
+        object.__setattr__(
+            self, "loss_fraction", float(np.float32(self.loss_fraction))
+        )
+        if not 0 <= self.peer_id < 2**32:
+            raise ValueError(f"peer_id must fit in uint32, got {self.peer_id!r}")
+        if not 0 <= self.session_id < 2**32:
+            raise ValueError(f"session_id must fit in uint32, got {self.session_id!r}")
+        if not 0 <= self.neighbor_count < 2**16:
+            raise ValueError(
+                f"neighbor_count must fit in uint16, got {self.neighbor_count!r}"
+            )
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the fixed 40-byte wire format."""
+        flags = FLAG_REBUFFERING if self.rebuffering else 0
+        return RECORD_STRUCT.pack(
+            self.timestamp,
+            self.peer_id,
+            self.session_id,
+            self.buffer_level,
+            self.download_rate,
+            self.upload_rate,
+            self.loss_fraction,
+            self.playback_delay,
+            self.neighbor_count,
+            flags,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StatsRecord":
+        """Parse one record from exactly :data:`RECORD_SIZE` bytes."""
+        if len(data) != RECORD_SIZE:
+            raise ValueError(
+                f"expected {RECORD_SIZE} bytes, got {len(data)}"
+            )
+        (
+            timestamp,
+            peer_id,
+            session_id,
+            buffer_level,
+            download_rate,
+            upload_rate,
+            loss_fraction,
+            playback_delay,
+            neighbor_count,
+            flags,
+        ) = RECORD_STRUCT.unpack(data)
+        return cls(
+            timestamp=timestamp,
+            peer_id=peer_id,
+            session_id=session_id,
+            buffer_level=buffer_level,
+            download_rate=download_rate,
+            upload_rate=upload_rate,
+            loss_fraction=loss_fraction,
+            playback_delay=playback_delay,
+            neighbor_count=neighbor_count,
+            rebuffering=bool(flags & FLAG_REBUFFERING),
+        )
+
+
+class RecordCodec:
+    """Pack telemetry records into fixed-size blocks and back.
+
+    Network coding operates on equal-length byte blocks; the codec prepends
+    a 4-byte record count, concatenates records, and zero-pads to
+    ``block_size``.  ``records_per_block`` records fit into each block.
+    """
+
+    def __init__(self, block_size: int = 256) -> None:
+        min_size = BLOCK_HEADER_STRUCT.size + RECORD_SIZE
+        if block_size < min_size:
+            raise ValueError(
+                f"block_size must be >= {min_size} to hold one record, "
+                f"got {block_size}"
+            )
+        self.block_size = block_size
+
+    @property
+    def records_per_block(self) -> int:
+        """Maximum records that fit in one block."""
+        return (self.block_size - BLOCK_HEADER_STRUCT.size) // RECORD_SIZE
+
+    def pack_block(self, records: Sequence[StatsRecord]) -> np.ndarray:
+        """Pack up to ``records_per_block`` records into one uint8 block."""
+        if len(records) > self.records_per_block:
+            raise ValueError(
+                f"{len(records)} records exceed block capacity "
+                f"{self.records_per_block}"
+            )
+        raw = BLOCK_HEADER_STRUCT.pack(len(records)) + b"".join(
+            record.to_bytes() for record in records
+        )
+        padded = raw + b"\x00" * (self.block_size - len(raw))
+        return np.frombuffer(padded, dtype=np.uint8).copy()
+
+    def pack_stream(self, records: Sequence[StatsRecord]) -> List[np.ndarray]:
+        """Pack a record stream into as many blocks as needed (>= 1)."""
+        blocks: List[np.ndarray] = []
+        per_block = self.records_per_block
+        if not records:
+            return [self.pack_block([])]
+        for start in range(0, len(records), per_block):
+            blocks.append(self.pack_block(records[start : start + per_block]))
+        return blocks
+
+    def unpack_block(self, block: np.ndarray) -> List[StatsRecord]:
+        """Recover the records packed into one block."""
+        data = np.asarray(block, dtype=np.uint8).tobytes()
+        if len(data) != self.block_size:
+            raise ValueError(
+                f"block has {len(data)} bytes, expected {self.block_size}"
+            )
+        (count,) = BLOCK_HEADER_STRUCT.unpack_from(data, 0)
+        if count > self.records_per_block:
+            raise ValueError(
+                f"block header claims {count} records, capacity is "
+                f"{self.records_per_block} (corrupt block?)"
+            )
+        records = []
+        offset = BLOCK_HEADER_STRUCT.size
+        for _ in range(count):
+            records.append(StatsRecord.from_bytes(data[offset : offset + RECORD_SIZE]))
+            offset += RECORD_SIZE
+        return records
+
+    def unpack_stream(self, blocks: Iterable[np.ndarray]) -> List[StatsRecord]:
+        """Recover the full record stream from consecutive blocks."""
+        records: List[StatsRecord] = []
+        for block in blocks:
+            records.extend(self.unpack_block(block))
+        return records
+
+
+def synthesize_records(
+    rng,
+    peer_id: int,
+    session_id: int,
+    count: int,
+    start_time: float = 0.0,
+    interval: float = 1.0,
+    degraded: bool = False,
+) -> List[StatsRecord]:
+    """Generate a plausible telemetry stream for tests and examples.
+
+    *degraded* produces the failure-mode signature (low buffer, high loss,
+    rebuffering) that Sec. 1 argues makes departed peers' statistics "the
+    most useful to diagnose system outages".
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    records = []
+    for index in range(count):
+        if degraded:
+            buffer_level = max(0.0, rng.uniform(0.0, 2.0))
+            loss = min(1.0, max(0.0, rng.uniform(0.1, 0.5)))
+            download = max(0.0, rng.uniform(50.0, 300.0))
+            rebuffering = rng.random() < 0.6
+        else:
+            buffer_level = max(0.0, rng.uniform(8.0, 30.0))
+            loss = min(1.0, max(0.0, rng.uniform(0.0, 0.02)))
+            download = max(0.0, rng.uniform(400.0, 1200.0))
+            rebuffering = False
+        records.append(
+            StatsRecord(
+                timestamp=start_time + index * interval,
+                peer_id=peer_id,
+                session_id=session_id,
+                buffer_level=buffer_level,
+                download_rate=download,
+                upload_rate=max(0.0, rng.uniform(100.0, 600.0)),
+                loss_fraction=loss,
+                playback_delay=max(0.0, rng.uniform(0.5, 5.0)),
+                neighbor_count=rng.randrange(4, 40),
+                rebuffering=rebuffering,
+            )
+        )
+    return records

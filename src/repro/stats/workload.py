@@ -1,0 +1,193 @@
+"""Statistics-generation workloads: how fast peers produce log data.
+
+Sec. 2 models block generation at each peer as a Poisson process with rate
+``lambda`` ("to accommodate the fluctuating nature of the upload demand");
+Sec. 1 motivates the design with *flash crowds* — sharp surges of arrivals
+and reporting that overwhelm provisioned-for-average servers.  This module
+defines the rate profiles:
+
+- :class:`ConstantWorkload` — homogeneous Poisson (the analysis setting),
+- :class:`FlashCrowdWorkload` — baseline rate with a multiplicative burst
+  over a time window (the DDoS-like peak of Sec. 1),
+- :class:`DiurnalWorkload` — sinusoidal day/night swing,
+- :class:`PiecewiseWorkload` — arbitrary step profile, and
+- :class:`ShutoffWorkload` — demand that ends at a cutoff time (the
+  Theorem 4 "streams of upload requests end" scenario, where the buffered
+  backlog drains to the servers in a delayed fashion).
+
+All profiles expose ``rate(t)`` and ``max_rate`` so injection can be driven
+by a thinned Poisson process, and ``mean_rate(t0, t1)`` for provisioning
+arithmetic (peak-vs-average, the paper's central trade-off).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.util.validation import require_nonnegative, require_positive
+
+
+class Workload:
+    """Interface for a per-peer statistics-generation rate profile."""
+
+    @property
+    def max_rate(self) -> float:
+        """Upper bound of ``rate(t)`` over all t (thinning envelope)."""
+        raise NotImplementedError
+
+    def rate(self, t: float) -> float:
+        """Instantaneous generation rate at time *t* (blocks/unit time)."""
+        raise NotImplementedError
+
+    def mean_rate(self, t0: float, t1: float, resolution: int = 2048) -> float:
+        """Average rate over [t0, t1], numerically unless overridden."""
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+        step = (t1 - t0) / resolution
+        total = 0.0
+        for index in range(resolution):
+            total += self.rate(t0 + (index + 0.5) * step)
+        return total / resolution
+
+    def peak_to_average(self, t0: float, t1: float) -> float:
+        """Peak-over-mean ratio on [t0, t1] — the server over-provisioning
+        factor a direct design must pay and the indirect design avoids."""
+        mean = self.mean_rate(t0, t1)
+        if mean == 0:
+            return math.inf
+        return self.max_rate / mean
+
+
+class ConstantWorkload(Workload):
+    """Homogeneous Poisson generation at fixed rate ``lam``."""
+
+    def __init__(self, lam: float) -> None:
+        self._lam = require_nonnegative("lam", lam)
+
+    @property
+    def max_rate(self) -> float:
+        return self._lam
+
+    def rate(self, t: float) -> float:
+        return self._lam
+
+    def mean_rate(self, t0: float, t1: float, resolution: int = 2048) -> float:
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+        return self._lam
+
+
+class FlashCrowdWorkload(Workload):
+    """Baseline rate with a burst of ``multiplier * base`` on [start, end).
+
+    Models the Sec. 1 scenario: "the number of peers in the session increases
+    dramatically in a short period of time", turning periodic reporting into
+    a de-facto DDoS against the logging servers.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_start: float,
+        burst_end: float,
+        multiplier: float,
+    ) -> None:
+        self.base_rate = require_positive("base_rate", base_rate)
+        if burst_end <= burst_start:
+            raise ValueError(
+                f"burst window must be non-empty, got [{burst_start}, {burst_end})"
+            )
+        self.burst_start = burst_start
+        self.burst_end = burst_end
+        if multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        self.multiplier = multiplier
+
+    @property
+    def max_rate(self) -> float:
+        return self.base_rate * self.multiplier
+
+    def rate(self, t: float) -> float:
+        if self.burst_start <= t < self.burst_end:
+            return self.base_rate * self.multiplier
+        return self.base_rate
+
+    def mean_rate(self, t0: float, t1: float, resolution: int = 2048) -> float:
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+        burst_overlap = max(
+            0.0, min(t1, self.burst_end) - max(t0, self.burst_start)
+        )
+        plain = (t1 - t0) - burst_overlap
+        return (
+            self.base_rate * plain + self.base_rate * self.multiplier * burst_overlap
+        ) / (t1 - t0)
+
+
+class DiurnalWorkload(Workload):
+    """Sinusoidal rate: ``base * (1 + amplitude * sin(2 pi t / period))``."""
+
+    def __init__(self, base_rate: float, amplitude: float, period: float) -> None:
+        self.base_rate = require_positive("base_rate", base_rate)
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError(f"amplitude must lie in [0, 1], got {amplitude}")
+        self.amplitude = amplitude
+        self.period = require_positive("period", period)
+
+    @property
+    def max_rate(self) -> float:
+        return self.base_rate * (1.0 + self.amplitude)
+
+    def rate(self, t: float) -> float:
+        return self.base_rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+        )
+
+
+class PiecewiseWorkload(Workload):
+    """Step profile from ``(start_time, rate)`` breakpoints.
+
+    The rate before the first breakpoint is the first breakpoint's rate.
+    Breakpoints must be sorted by time.
+    """
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("PiecewiseWorkload needs at least one step")
+        times = [t for t, _ in steps]
+        if times != sorted(times):
+            raise ValueError("breakpoints must be sorted by time")
+        for _, rate in steps:
+            require_nonnegative("rate", rate)
+        self._steps: List[Tuple[float, float]] = [
+            (float(t), float(r)) for t, r in steps
+        ]
+
+    @property
+    def max_rate(self) -> float:
+        return max(rate for _, rate in self._steps)
+
+    def rate(self, t: float) -> float:
+        current = self._steps[0][1]
+        for start, rate in self._steps:
+            if t >= start:
+                current = rate
+            else:
+                break
+        return current
+
+
+class ShutoffWorkload(Workload):
+    """Constant rate that drops to zero at *cutoff* (Theorem 4 scenario)."""
+
+    def __init__(self, lam: float, cutoff: float) -> None:
+        self._lam = require_positive("lam", lam)
+        self.cutoff = require_nonnegative("cutoff", cutoff)
+
+    @property
+    def max_rate(self) -> float:
+        return self._lam
+
+    def rate(self, t: float) -> float:
+        return self._lam if t < self.cutoff else 0.0

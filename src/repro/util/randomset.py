@@ -1,0 +1,123 @@
+"""A set supporting O(1) insertion, removal, and uniform random sampling.
+
+The simulator must repeatedly draw a uniformly random member from dynamic
+populations — "a peer u.a.r. from among all the peers with non-null buffers",
+"a segment u.a.r. from all the segments adjacent to peer *d*" — while members
+join and leave at high rates.  A plain ``set`` cannot be sampled in O(1) and a
+plain ``list`` cannot be removed from in O(1), so this module provides the
+classic array-plus-index-map structure used by event-driven simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomizedSet(Generic[T]):
+    """Container with O(1) ``add``, ``discard``, ``__contains__`` and ``sample``.
+
+    Members must be hashable.  Iteration order is arbitrary (it reflects the
+    internal array layout, which is perturbed by removals).
+
+    Example::
+
+        population = RandomizedSet([1, 2, 3])
+        population.add(4)
+        population.discard(2)
+        peer = population.sample(rng)   # uniform over {1, 3, 4}
+    """
+
+    __slots__ = ("_items", "_index")
+
+    def __init__(self, items: Optional[List[T]] = None) -> None:
+        self._items: List[T] = []
+        self._index: Dict[T, int] = {}
+        if items is not None:
+            for item in items:
+                self.add(item)
+
+    def add(self, item: T) -> bool:
+        """Insert *item*; return ``True`` if it was not already present."""
+        if item in self._index:
+            return False
+        self._index[item] = len(self._items)
+        self._items.append(item)
+        return True
+
+    def discard(self, item: T) -> bool:
+        """Remove *item* if present; return ``True`` if it was removed.
+
+        Removal swaps the victim with the last array slot so the array stays
+        dense, preserving O(1) uniform sampling.
+        """
+        pos = self._index.pop(item, None)
+        if pos is None:
+            return False
+        last = self._items.pop()
+        if pos < len(self._items):
+            # The victim was not in the final slot: move the (former) last
+            # element into the hole so the array stays dense.
+            self._items[pos] = last
+            self._index[last] = pos
+        return True
+
+    def remove(self, item: T) -> None:
+        """Remove *item*; raise :class:`KeyError` if absent."""
+        if not self.discard(item):
+            raise KeyError(item)
+
+    def sample(self, rng) -> T:
+        """Return a uniformly random member using *rng* (``random.Random`` or
+        ``numpy.random.Generator`` — anything with ``randrange`` or
+        ``integers``).  Raises :class:`IndexError` when empty."""
+        if not self._items:
+            raise IndexError("sample from an empty RandomizedSet")
+        if hasattr(rng, "randrange"):
+            pos = rng.randrange(len(self._items))
+        else:
+            pos = int(rng.integers(len(self._items)))
+        return self._items[pos]
+
+    def sample_excluding(self, rng, excluded: T, max_tries: int = 64) -> Optional[T]:
+        """Return a uniformly random member different from *excluded*.
+
+        Uses rejection sampling, which is O(1) in expectation whenever the set
+        has at least two members.  Returns ``None`` if the only member is
+        *excluded* or the set is empty.
+        """
+        size = len(self._items)
+        if size == 0:
+            return None
+        if size == 1:
+            only = self._items[0]
+            return None if only == excluded else only
+        for _ in range(max_tries):
+            candidate = self.sample(rng)
+            if candidate != excluded:
+                return candidate
+        # Fall back to an exact (O(n)) draw; reachable only with adversarial
+        # duplicates of `excluded`, which a set cannot contain, or vanishing
+        # probability ~2^-64.
+        others = [item for item in self._items if item != excluded]
+        if not others:
+            return None
+        return others[rng.randrange(len(others)) if hasattr(rng, "randrange") else int(rng.integers(len(others)))]
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._index
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(item) for item in self._items[:8])
+        suffix = ", ..." if len(self._items) > 8 else ""
+        return f"RandomizedSet({{{preview}{suffix}}})"

@@ -1,0 +1,89 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures plot.
+No plotting dependency is assumed, so results are rendered as aligned ASCII
+tables that read well in a terminal and diff cleanly in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, float_fmt: str = "{:.4f}") -> str:
+    """Render one table cell: floats via *float_fmt*, ``None`` as ``-``."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Every row must have the same number of cells as there are headers; a
+    mismatched row raises :class:`ValueError` rather than silently
+    misaligning the report.
+    """
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [format_cell(cell, float_fmt) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(header_cells)} columns: {cells!r}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(fmt_row(header_cells))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_name: str,
+    x_values: Sequence[Cell],
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render several y-series against a shared x-axis.
+
+    *series* is a sequence of ``(label, values)`` pairs, each ``values``
+    aligned with *x_values*.  This is the shape of every figure in the paper:
+    one x sweep, several parameterized curves.
+    """
+    headers = [x_name] + [label for label, _ in series]
+    for label, values in series:
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points but x-axis has {len(x_values)}"
+            )
+    rows = [
+        [x_values[i]] + [values[i] for _, values in series]
+        for i in range(len(x_values))
+    ]
+    return render_table(headers, rows, title=title, float_fmt=float_fmt)

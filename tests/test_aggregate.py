@@ -1,0 +1,160 @@
+"""Tests for operator-side telemetry analytics."""
+
+import random
+
+import pytest
+
+from repro.stats.aggregate import (
+    FieldSummary,
+    OutageReport,
+    compare_cohorts,
+    detect_outage,
+    fleet_health,
+    group_by_peer,
+    summarize_peer,
+    _percentile,
+)
+from repro.stats.records import StatsRecord, synthesize_records
+
+
+def record(peer_id=1, **overrides):
+    defaults = dict(
+        timestamp=0.0,
+        peer_id=peer_id,
+        session_id=1,
+        buffer_level=15.0,
+        download_rate=800.0,
+        upload_rate=300.0,
+        loss_fraction=0.01,
+        playback_delay=1.0,
+        neighbor_count=20,
+        rebuffering=False,
+    )
+    defaults.update(overrides)
+    return StatsRecord(**defaults)
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert _percentile([5.0], 50.0) == 5.0
+
+    def test_median_of_pair(self):
+        assert _percentile([1.0, 3.0], 50.0) == 2.0
+
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(data, 0.0) == 1.0
+        assert _percentile(data, 100.0) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _percentile([], 50.0)
+        with pytest.raises(ValueError):
+            _percentile([1.0], 150.0)
+
+
+class TestFieldSummary:
+    def test_basic_stats(self):
+        summary = FieldSummary.from_values([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.p50 == 2.0
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FieldSummary.from_values([])
+
+
+class TestPeerHealth:
+    def test_summarize_healthy_peer(self):
+        records = [record(timestamp=float(i)) for i in range(5)]
+        health = summarize_peer(1, records)
+        assert health.records == 5
+        assert health.first_seen == 0.0 and health.last_seen == 4.0
+        assert health.rebuffering_fraction == 0.0
+        assert health.health_score > 0.8
+        assert not health.is_degraded
+
+    def test_degraded_peer_scores_low(self):
+        records = [
+            record(buffer_level=0.5, loss_fraction=0.4, rebuffering=True)
+            for _ in range(4)
+        ]
+        health = summarize_peer(1, records)
+        assert health.is_degraded
+        assert health.health_score < 0.3
+
+    def test_wrong_peer_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_peer(1, [record(peer_id=2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_peer(1, [])
+
+
+class TestFleet:
+    def make_fleet(self):
+        rng = random.Random(0)
+        records = []
+        for peer_id in range(8):
+            records.extend(
+                synthesize_records(
+                    rng,
+                    peer_id=peer_id,
+                    session_id=1,
+                    count=10,
+                    degraded=(peer_id % 4 == 0),
+                )
+            )
+        return records
+
+    def test_group_by_peer(self):
+        grouped = group_by_peer(self.make_fleet())
+        assert set(grouped) == set(range(8))
+        assert all(len(records) == 10 for records in grouped.values())
+
+    def test_fleet_health_sorted_triage_first(self):
+        profiles = fleet_health(self.make_fleet())
+        scores = [p.health_score for p in profiles]
+        assert scores == sorted(scores)
+
+    def test_detect_outage_finds_degraded_cohort(self):
+        report = detect_outage(self.make_fleet())
+        assert isinstance(report, OutageReport)
+        degraded_ids = {p.peer_id for p in report.degraded}
+        assert degraded_ids == {0, 4}
+        assert report.degraded_fraction == pytest.approx(0.25)
+        assert report.loss_gap() > 0.1
+
+    def test_outage_report_handles_uniform_fleet(self):
+        rng = random.Random(1)
+        healthy_only = synthesize_records(rng, 1, 1, 20, degraded=False)
+        report = detect_outage(healthy_only)
+        assert not report.degraded
+        assert report.loss_gap() is None
+        assert report.degraded_fraction == 0.0
+
+
+class TestCohorts:
+    def test_compare_cohorts(self):
+        rng = random.Random(2)
+        departed = synthesize_records(rng, 1, 1, 30, degraded=True)
+        survivors = synthesize_records(rng, 2, 1, 30, degraded=False)
+        comparison = compare_cohorts(departed, survivors)
+        loss_departed, loss_survivors = comparison["loss_fraction"]
+        assert loss_departed > loss_survivors
+        buffer_departed, buffer_survivors = comparison["buffer_level"]
+        assert buffer_departed < buffer_survivors
+        assert set(comparison) == {
+            "buffer_level",
+            "loss_fraction",
+            "download_rate",
+            "playback_delay",
+            "rebuffering",
+        }
+
+    def test_empty_cohort_rejected(self):
+        with pytest.raises(ValueError):
+            compare_cohorts([], [record()])

@@ -1,0 +1,184 @@
+"""Tests for the direct-pull and push baselines."""
+
+import pytest
+
+from repro.core.baseline import DirectCollectionSystem
+from repro.core.params import Parameters
+from repro.core.push import PushCollectionSystem
+from repro.stats.workload import FlashCrowdWorkload
+
+
+def params(**overrides):
+    defaults = dict(
+        n_peers=40,
+        arrival_rate=4.0,
+        gossip_rate=8.0,  # ignored by both baselines
+        deletion_rate=0.5,
+        normalized_capacity=3.0,
+        segment_size=4,  # ignored by both baselines
+        n_servers=2,
+    )
+    defaults.update(overrides)
+    return Parameters(**defaults)
+
+
+class TestDirectPull:
+    def test_every_delivery_is_useful(self):
+        system = DirectCollectionSystem(params(), seed=1)
+        report = system.run(3.0, 6.0)
+        assert report.pulls == report.useful_pulls + report.idle_pulls
+        assert report.redundant_pulls == 0
+        assert report.efficiency > 0
+
+    def test_deterministic(self):
+        a = DirectCollectionSystem(params(), seed=2).run(2.0, 5.0)
+        b = DirectCollectionSystem(params(), seed=2).run(2.0, 5.0)
+        assert a == b
+
+    def test_throughput_capped_by_capacity(self):
+        # demand 4 > capacity 3: delivery rate ~ c = 3 per peer
+        system = DirectCollectionSystem(params(n_peers=80), seed=3)
+        report = system.run(6.0, 10.0)
+        assert report.normalized_throughput == pytest.approx(3.0 / 4.0, rel=0.1)
+
+    def test_capacity_exceeds_demand_delivers_everything(self):
+        system = DirectCollectionSystem(
+            params(normalized_capacity=12.0, deletion_rate=0.2), seed=4
+        )
+        report = system.run(6.0, 10.0)
+        assert report.normalized_throughput == pytest.approx(1.0, rel=0.1)
+
+    def test_ttl_loses_data_under_overload(self):
+        system = DirectCollectionSystem(
+            params(normalized_capacity=1.0, deletion_rate=1.0), seed=5
+        )
+        report = system.run(5.0, 10.0)
+        assert report.blocks_expired > 0
+        assert system.lost_to_ttl > 0
+
+    def test_retain_forever_disables_ttl(self):
+        system = DirectCollectionSystem(
+            params(normalized_capacity=1.0), seed=6, retain_forever=True
+        )
+        report = system.run(5.0, 10.0)
+        assert report.blocks_expired == 0
+        assert system.backlog() > 0
+
+    def test_churn_destroys_pending_data(self):
+        system = DirectCollectionSystem(
+            params(mean_lifetime=1.0, normalized_capacity=1.0), seed=7
+        )
+        report = system.run(3.0, 6.0)
+        assert report.blocks_lost_to_churn > 0
+        assert system.lost_to_churn > 0
+
+    def test_blind_mode_wastes_probes_on_empty_peers(self):
+        # tiny demand, short retention: most peers are empty most of the time
+        config = params(
+            arrival_rate=0.2, deletion_rate=4.0, normalized_capacity=2.0
+        )
+        oracle = DirectCollectionSystem(config, seed=8).run(3.0, 8.0)
+        blind = DirectCollectionSystem(config, seed=8, blind=True).run(3.0, 8.0)
+        assert blind.idle_pulls > oracle.idle_pulls
+        assert blind.useful_pulls <= oracle.useful_pulls
+
+    def test_delay_is_positive(self):
+        system = DirectCollectionSystem(params(), seed=9)
+        report = system.run(3.0, 8.0)
+        assert report.mean_block_delay is not None
+        assert report.mean_block_delay > 0
+
+    def test_overflow_counted_when_buffer_tiny(self):
+        system = DirectCollectionSystem(
+            params(buffer_capacity=4, normalized_capacity=1.0,
+                   deletion_rate=0.25),
+            seed=10,
+        )
+        system.run(4.0, 8.0)
+        assert system.lost_to_overflow > 0
+
+    def test_postmortem_departed_never_recoverable(self):
+        system = DirectCollectionSystem(
+            params(mean_lifetime=1.5, normalized_capacity=1.0), seed=11
+        )
+        system.run_until(8.0)
+        report = system.postmortem()
+        assert report.departed.injected > 0
+        assert report.departed.recoverable == 0
+        assert report.departed.delivered <= report.departed.injected
+
+    def test_run_argument_validation(self):
+        system = DirectCollectionSystem(params(), seed=12)
+        with pytest.raises(ValueError):
+            system.run(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            system.run_phase(0.0)
+
+
+class TestPush:
+    def test_underload_delivers_everything(self):
+        system = PushCollectionSystem(
+            params(normalized_capacity=12.0), seed=1
+        )
+        report = system.run(4.0, 10.0)
+        assert report.normalized_throughput == pytest.approx(1.0, rel=0.08)
+        assert system.loss_fraction() < 0.02
+
+    def test_overload_drops_excess(self):
+        # demand 4, capacity 2: about half the uploads must be dropped
+        system = PushCollectionSystem(
+            params(normalized_capacity=2.0), seed=2
+        )
+        report = system.run(4.0, 10.0)
+        assert report.normalized_throughput == pytest.approx(0.5, rel=0.12)
+        assert system.loss_fraction() == pytest.approx(0.5, abs=0.08)
+
+    def test_flash_crowd_burst_is_lost_permanently(self):
+        workload = FlashCrowdWorkload(
+            base_rate=2.0, burst_start=5.0, burst_end=8.0, multiplier=10.0
+        )
+        system = PushCollectionSystem(
+            params(arrival_rate=2.0, normalized_capacity=4.0),
+            seed=3,
+            workload=workload,
+        )
+        steady = system.run_phase(5.0)
+        burst = system.run_phase(3.0)
+        after = system.run_phase(5.0)
+        assert steady.segments_lost == 0 or steady.segments_lost < 10
+        assert burst.segments_lost > 100  # burst demand 20 vs capacity 4
+        # nothing buffered: the post-burst rate returns to the base demand
+        assert after.throughput <= 2.2 * 40
+
+    def test_deterministic(self):
+        a = PushCollectionSystem(params(), seed=5).run(2.0, 5.0)
+        b = PushCollectionSystem(params(), seed=5).run(2.0, 5.0)
+        assert a == b
+
+    def test_delay_small_when_underloaded(self):
+        system = PushCollectionSystem(
+            params(normalized_capacity=12.0), seed=6
+        )
+        report = system.run(4.0, 8.0)
+        # M/M/1-ish: sojourn ~ 1/(mu-lambda); with per-server rate 240 vs
+        # arrivals 160/2 per server the delay is well under a tenth
+        assert report.mean_block_delay is not None
+        assert report.mean_block_delay < 0.1
+
+    def test_queue_slots_validated(self):
+        with pytest.raises(ValueError):
+            PushCollectionSystem(params(), queue_slots=0)
+
+    def test_backlog_bounded_by_queue(self):
+        system = PushCollectionSystem(
+            params(normalized_capacity=1.0), seed=7, queue_slots=8
+        )
+        system.run_until(10.0)
+        assert system.backlog() <= (8 + 1) * 2  # per server: queue + in service
+
+    def test_run_argument_validation(self):
+        system = PushCollectionSystem(params(), seed=8)
+        with pytest.raises(ValueError):
+            system.run(1.0, -1.0)
+        with pytest.raises(ValueError):
+            system.run_phase(-2.0)

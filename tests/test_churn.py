@@ -1,0 +1,90 @@
+"""Tests for the replacement churn model."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim.churn import ChurnModel
+from repro.sim.engine import Simulator
+
+
+def make_model(mean_lifetime, n_slots=10, on_replace=None, seed=0):
+    sim = Simulator()
+    replaced = []
+    model = ChurnModel(
+        sim=sim,
+        rng=random.Random(seed),
+        n_slots=n_slots,
+        mean_lifetime=mean_lifetime,
+        on_replace=on_replace or replaced.append,
+    )
+    return sim, model, replaced
+
+
+class TestChurnModel:
+    def test_disabled_when_lifetime_none(self):
+        sim, model, replaced = make_model(None)
+        model.start()
+        sim.run_until(100.0)
+        assert not model.enabled
+        assert model.departures == 0
+        assert not replaced
+
+    def test_disabled_when_lifetime_inf(self):
+        _, model, _ = make_model(math.inf)
+        assert not model.enabled
+
+    def test_sample_lifetime_disabled_raises(self):
+        _, model, _ = make_model(None)
+        with pytest.raises(ValueError):
+            model.sample_lifetime()
+
+    def test_departure_rate_matches_lifetime(self):
+        sim, model, replaced = make_model(2.0, n_slots=50)
+        model.start()
+        sim.run_until(40.0)
+        # expected departures = slots * horizon / L = 50 * 40 / 2 = 1000
+        assert abs(model.departures - 1000) < 150
+        assert len(replaced) == model.departures
+
+    def test_every_slot_churns(self):
+        sim, model, replaced = make_model(1.0, n_slots=8)
+        model.start()
+        sim.run_until(30.0)
+        assert set(replaced) == set(range(8))
+
+    def test_replacement_gets_fresh_lifetime(self):
+        sim, model, replaced = make_model(0.5, n_slots=1)
+        model.start()
+        sim.run_until(20.0)
+        # slot 0 must depart many times, not just once
+        assert replaced.count(0) > 10
+
+    def test_double_start_raises(self):
+        _, model, _ = make_model(1.0)
+        model.start()
+        with pytest.raises(RuntimeError):
+            model.start()
+
+    def test_stop_cancels_pending(self):
+        sim, model, replaced = make_model(1.0, n_slots=5)
+        model.start()
+        model.stop()
+        sim.run_until(50.0)
+        assert not replaced
+
+    def test_lifetimes_exponential(self):
+        _, model, _ = make_model(3.0, seed=9)
+        samples = [model.sample_lifetime() for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 3.0) < 0.2
+        var = sum((x - mean) ** 2 for x in samples) / len(samples)
+        assert abs(math.sqrt(var) / mean - 1.0) < 0.1  # CV of exponential = 1
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ChurnModel(sim, random.Random(0), 0, 1.0, lambda s: None)
+        with pytest.raises(ValueError):
+            ChurnModel(sim, random.Random(0), 5, -1.0, lambda s: None)

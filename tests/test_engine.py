@@ -1,0 +1,304 @@
+"""Tests for the discrete-event engine and Poisson processes."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim.engine import PoissonProcess, Simulator, ThinnedPoissonProcess
+from repro.sim.rng import SeedSequenceRegistry, exponential
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c"]
+        assert sim.now == 10.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run_until(2.0)
+        assert order == [1, 2]
+
+    def test_clock_at_event_time_during_handler(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run_until(5.0)
+        assert seen == [1.5]
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        assert sim.run_until(4.0) == 0
+        assert not fired
+        assert sim.run_until(6.0) == 1
+        assert fired
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(True))
+        handle.cancel()
+        sim.run_until(2.0)
+        assert not fired
+
+    def test_handler_can_schedule_more(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append(sim.now)))
+        sim.run_until(3.0)
+        assert fired == [2.0]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_invalid_delay_raises(self):
+        sim = Simulator()
+        for bad in (-1.0, math.nan, math.inf):
+            with pytest.raises(ValueError):
+                sim.schedule(bad, lambda: None)
+
+    def test_run_until_backwards_raises(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.run_until(4.0)
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(10.0)
+        assert fired == [1]
+        assert sim.now == 1.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            sim.run_until(1.0, max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_processed == 5
+
+
+class TestPoissonProcess:
+    def test_rate_is_respected(self):
+        sim = Simulator()
+        rng = random.Random(42)
+        fires = []
+        PoissonProcess(sim, rng, rate=50.0, action=lambda: fires.append(sim.now))
+        sim.run_until(20.0)
+        observed_rate = len(fires) / 20.0
+        assert abs(observed_rate - 50.0) / 50.0 < 0.1
+
+    def test_interarrivals_look_exponential(self):
+        sim = Simulator()
+        rng = random.Random(7)
+        fires = []
+        PoissonProcess(sim, rng, rate=10.0, action=lambda: fires.append(sim.now))
+        sim.run_until(100.0)
+        gaps = [b - a for a, b in zip(fires, fires[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert abs(mean_gap - 0.1) < 0.01
+        # memorylessness proxy: CV of exponential is 1
+        var = sum((g - mean_gap) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(var) / mean_gap
+        assert abs(cv - 1.0) < 0.1
+
+    def test_zero_rate_parks(self):
+        sim = Simulator()
+        fires = []
+        process = PoissonProcess(
+            sim, random.Random(0), rate=0.0, action=lambda: fires.append(1)
+        )
+        sim.run_until(10.0)
+        assert not fires
+        process.set_rate(100.0)
+        sim.run_until(11.0)
+        assert fires
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        fires = []
+        process = PoissonProcess(
+            sim, random.Random(0), rate=10.0, action=lambda: fires.append(1)
+        )
+        sim.run_until(1.0)
+        count = len(fires)
+        process.stop()
+        sim.run_until(5.0)
+        assert len(fires) == count
+        assert not process.is_running
+
+    def test_set_rate_midflight(self):
+        sim = Simulator()
+        fires = []
+        process = PoissonProcess(
+            sim, random.Random(1), rate=1.0, action=lambda: fires.append(sim.now)
+        )
+        sim.run_until(10.0)
+        slow = len(fires)
+        process.set_rate(100.0)
+        sim.run_until(20.0)
+        fast = len(fires) - slow
+        assert fast > slow * 10
+
+    def test_negative_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PoissonProcess(sim, random.Random(0), rate=-1.0, action=lambda: None)
+        process = PoissonProcess(
+            sim, random.Random(0), rate=1.0, action=lambda: None
+        )
+        with pytest.raises(ValueError):
+            process.set_rate(math.inf)
+
+    def test_subnormal_rate_parks_instead_of_infinite_delay(self):
+        """A denormal-but-positive rate overflows expovariate to infinity;
+        the process must park rather than schedule an unreachable event."""
+        sim = Simulator()
+        fires = []
+        process = PoissonProcess(
+            sim,
+            random.Random(0),
+            rate=5e-324,  # smallest positive float
+            action=lambda: fires.append(1),
+        )
+        sim.run_until(10.0)
+        assert not fires
+        process.set_rate(100.0)  # recoverable via set_rate
+        sim.run_until(11.0)
+        assert fires
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        fires = []
+        process = PoissonProcess(
+            sim, random.Random(3), rate=100.0, action=lambda: fires.append(1),
+            start=False,
+        )
+        sim.run_until(1.0)
+        assert not fires
+        process.start()
+        process.start()
+        sim.run_until(2.0)
+        # double start must not double the rate
+        assert 50 < len(fires) < 160
+
+
+class TestThinnedPoissonProcess:
+    def test_halved_rate(self):
+        sim = Simulator()
+        rng = random.Random(5)
+        fires = []
+        ThinnedPoissonProcess(
+            sim,
+            rng,
+            max_rate=100.0,
+            rate_fn=lambda t: 50.0,
+            action=lambda: fires.append(sim.now),
+        )
+        sim.run_until(20.0)
+        assert abs(len(fires) / 20.0 - 50.0) / 50.0 < 0.15
+
+    def test_time_varying_profile(self):
+        sim = Simulator()
+        rng = random.Random(6)
+        fires = []
+        ThinnedPoissonProcess(
+            sim,
+            rng,
+            max_rate=100.0,
+            rate_fn=lambda t: 100.0 if t >= 10.0 else 10.0,
+            action=lambda: fires.append(sim.now),
+        )
+        sim.run_until(20.0)
+        early = sum(1 for t in fires if t < 10.0)
+        late = sum(1 for t in fires if t >= 10.0)
+        assert late > 5 * early
+
+    def test_rate_fn_above_max_raises(self):
+        sim = Simulator()
+        ThinnedPoissonProcess(
+            sim,
+            random.Random(0),
+            max_rate=1.0,
+            rate_fn=lambda t: 2.0,
+            action=lambda: None,
+        )
+        with pytest.raises(ValueError):
+            sim.run_until(50.0)
+
+    def test_negative_rate_fn_raises(self):
+        sim = Simulator()
+        ThinnedPoissonProcess(
+            sim,
+            random.Random(0),
+            max_rate=10.0,
+            rate_fn=lambda t: -1.0,
+            action=lambda: None,
+        )
+        with pytest.raises(ValueError):
+            sim.run_until(50.0)
+
+
+class TestRng:
+    def test_exponential_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            exponential(random.Random(0), 0.0)
+
+    def test_registry_reproducible(self):
+        a = SeedSequenceRegistry(1).python("x").random()
+        b = SeedSequenceRegistry(1).python("x").random()
+        assert a == b
+
+    def test_registry_streams_differ_by_name(self):
+        seeds = SeedSequenceRegistry(1)
+        assert seeds.python("a").random() != seeds.python("b").random()
+
+    def test_registry_same_name_same_object(self):
+        seeds = SeedSequenceRegistry(1)
+        assert seeds.python("a") is seeds.python("a")
+        assert seeds.numpy("a") is seeds.numpy("a")
+
+    def test_numpy_streams(self):
+        seeds = SeedSequenceRegistry(2)
+        x = seeds.numpy("n").integers(0, 1000)
+        y = SeedSequenceRegistry(2).numpy("n").integers(0, 1000)
+        assert x == y
+
+    def test_spawn_children_differ(self):
+        seeds = SeedSequenceRegistry(3)
+        a = seeds.spawn("child1").python("x").random()
+        b = seeds.spawn("child2").python("x").random()
+        assert a != b
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceRegistry("seed")
+        with pytest.raises(ValueError):
+            SeedSequenceRegistry(True)

@@ -1,0 +1,162 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.stats.workload import DiurnalWorkload, FlashCrowdWorkload, PiecewiseWorkload
+from repro.util.tables import render_series, render_table
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_events_always_execute_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run_until(200.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 50.0), st.booleans()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_cancelled_events_never_fire(self, schedule):
+        sim = Simulator()
+        fired = []
+        for index, (delay, cancel) in enumerate(schedule):
+            handle = sim.schedule(delay, lambda i=index: fired.append(i))
+            if cancel:
+                handle.cancel()
+        sim.run_until(100.0)
+        expected = [i for i, (_, cancel) in enumerate(schedule) if not cancel]
+        assert sorted(fired) == expected
+
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30), st.floats(0.0, 10.0))
+    @settings(max_examples=40)
+    def test_run_until_horizon_respected(self, delays, horizon):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run_until(horizon)
+        assert all(delay <= horizon for delay in fired)
+        assert sim.now == horizon
+
+
+class TestWorkloadProperties:
+    @given(
+        st.floats(0.1, 50.0),
+        st.floats(0.0, 100.0),
+        st.floats(0.01, 50.0),
+        st.floats(1.0, 20.0),
+    )
+    @settings(max_examples=60)
+    def test_flash_crowd_rate_bounded_by_max(self, base, start, width, mult):
+        workload = FlashCrowdWorkload(base, start, start + width, mult)
+        for t in (0.0, start - 0.01, start, start + width / 2, start + width, 1e6):
+            rate = workload.rate(t)
+            assert 0.0 <= rate <= workload.max_rate + 1e-12
+
+    @given(
+        st.floats(0.1, 50.0),
+        st.floats(0.0, 1.0),
+        st.floats(0.5, 100.0),
+        st.floats(0.0, 1000.0),
+    )
+    @settings(max_examples=60)
+    def test_diurnal_rate_nonnegative_and_bounded(self, base, amp, period, t):
+        workload = DiurnalWorkload(base, amp, period)
+        rate = workload.rate(t)
+        assert -1e-9 <= rate <= workload.max_rate + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.floats(0.0, 50.0)),
+            min_size=1,
+            max_size=10,
+        ).map(lambda steps: sorted(steps, key=lambda p: p[0])),
+        st.floats(-10.0, 200.0),
+    )
+    @settings(max_examples=60)
+    def test_piecewise_rate_is_one_of_the_steps(self, steps, t):
+        workload = PiecewiseWorkload(steps)
+        assert workload.rate(t) in {rate for _, rate in steps}
+
+    @given(st.floats(0.1, 50.0), st.floats(0.0, 40.0), st.floats(0.1, 40.0))
+    @settings(max_examples=40)
+    def test_mean_rate_between_extremes(self, base, start, width):
+        workload = FlashCrowdWorkload(base, start, start + width, 3.0)
+        mean = workload.mean_rate(0.0, start + width + 10.0)
+        assert base - 1e-9 <= mean <= workload.max_rate + 1e-9
+
+
+class TestTableProperties:
+    header_text = st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=12
+    )
+
+    @given(
+        st.integers(1, 5),
+        st.integers(0, 6),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40)
+    def test_render_table_is_rectangular(self, n_cols, n_rows, rng):
+        headers = [f"col{i}" for i in range(n_cols)]
+        rows = [
+            [
+                rng.choice([None, rng.random() * 100, rng.randint(0, 9), "txt"])
+                for _ in range(n_cols)
+            ]
+            for _ in range(n_rows)
+        ]
+        table = render_table(headers, rows)
+        widths = {len(line) for line in table.splitlines()}
+        assert len(widths) == 1
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_render_series_contains_all_values(self, xs):
+        ys = [x * 2 for x in xs]
+        table = render_series("x", xs, [("y", ys)])
+        assert table.count("\n") == len(xs) + 1  # header + rule + rows
+
+
+class TestRandomSeedProperties:
+    @given(st.integers(0, 2**31), st.text(min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_named_substreams_are_reproducible(self, seed, name):
+        from repro.sim.rng import SeedSequenceRegistry
+
+        a = SeedSequenceRegistry(seed).python(name).random()
+        b = SeedSequenceRegistry(seed).python(name).random()
+        assert a == b
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20)
+    def test_small_simulations_always_consistent(self, seed):
+        from repro.core.params import Parameters
+        from repro.core.system import CollectionSystem
+
+        params = Parameters(
+            n_peers=8,
+            arrival_rate=3.0,
+            gossip_rate=3.0,
+            deletion_rate=1.0,
+            normalized_capacity=1.0,
+            segment_size=2,
+            n_servers=1,
+        )
+        system = CollectionSystem(params, seed=seed)
+        system.run_until(3.0)
+        system.consistency_check()

@@ -1,0 +1,117 @@
+"""Tests for the experiment-result regression comparator."""
+
+import math
+
+import pytest
+
+from repro.experiments.base import SeriesResult
+from repro.experiments.regression import (
+    ComparisonReport,
+    compare_archives,
+    compare_results,
+)
+
+
+def result(name="fig3", xs=(1.0, 2.0), **series):
+    out = SeriesResult(name=name, title="t", x_name="x", x_values=list(xs))
+    if not series:
+        series = {"y": [1.0, 2.0]}
+    for label, values in series.items():
+        out.add_series(label, list(values))
+    return out
+
+
+class TestCompareResults:
+    def test_identical_results_match(self):
+        report = compare_results(result(), result())
+        assert report.matches
+        assert report.points_compared == 2
+        assert "match" in report.summary()
+
+    def test_within_tolerance_matches(self):
+        baseline = result(y=[1.0, 2.0])
+        current = result(y=[1.04, 2.08])
+        assert compare_results(baseline, current, rel_tolerance=0.05).matches
+
+    def test_beyond_tolerance_diverges(self):
+        baseline = result(y=[1.0, 2.0])
+        current = result(y=[1.2, 2.0])
+        report = compare_results(baseline, current, rel_tolerance=0.05)
+        assert not report.matches
+        assert len(report.diverging_points) == 1
+        diff = report.diverging_points[0]
+        assert diff.series == "y" and diff.x == 1.0
+        assert "MISMATCH" in report.summary()
+
+    def test_absolute_floor_absorbs_tiny_values(self):
+        baseline = result(y=[1e-6, 2.0])
+        current = result(y=[5e-4, 2.0])
+        assert compare_results(baseline, current, abs_floor=1e-3).matches
+
+    def test_per_series_tolerance(self):
+        baseline = result(a=[1.0, 1.0], b=[1.0, 1.0])
+        current = result(a=[1.3, 1.0], b=[1.3, 1.0])
+        report = compare_results(
+            baseline,
+            current,
+            rel_tolerance=0.05,
+            series_tolerances={"a": 0.5},
+        )
+        labels = {d.series for d in report.diverging_points}
+        assert labels == {"b"}
+
+    def test_none_matches_none_only(self):
+        baseline = result(y=[None, 2.0])
+        ok = result(y=[None, 2.0])
+        bad = result(y=[1.0, 2.0])
+        assert compare_results(baseline, ok).matches
+        report = compare_results(baseline, bad)
+        assert not report.matches
+        assert report.diverging_points[0].baseline is None
+
+    def test_nan_treated_as_missing(self):
+        baseline = result(y=[math.nan, 2.0])
+        current = result(y=[None, 2.0])
+        assert compare_results(baseline, current).matches
+
+    def test_structural_name_change(self):
+        report = compare_results(result(name="fig3"), result(name="fig4"))
+        assert not report.matches
+        assert any("name" in e for e in report.structural_errors)
+
+    def test_structural_axis_change(self):
+        report = compare_results(result(xs=(1.0, 2.0)), result(xs=(1.0, 3.0)))
+        assert any("x-axis" in e for e in report.structural_errors)
+
+    def test_structural_series_change(self):
+        baseline = result(a=[1.0, 2.0])
+        current = result(b=[1.0, 2.0])
+        report = compare_results(baseline, current)
+        assert any("removed" in e for e in report.structural_errors)
+        assert any("added" in e for e in report.structural_errors)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_results(result(), result(), rel_tolerance=-0.1)
+
+    def test_json_roundtrip_is_regression_stable(self):
+        original = result(y=[0.123456, None])
+        restored = SeriesResult.from_json(original.to_json())
+        assert compare_results(original, restored, rel_tolerance=0.0).matches
+
+
+class TestCompareArchives:
+    def test_full_archive(self):
+        baselines = {"fig3": result(name="fig3"), "fig4": result(name="fig4")}
+        currents = {"fig3": result(name="fig3"), "fig5": result(name="fig5")}
+        reports = compare_archives(baselines, currents)
+        assert set(reports) == {"fig3", "fig4", "fig5"}
+        assert reports["fig3"].matches
+        assert not reports["fig4"].matches  # missing from current
+        assert not reports["fig5"].matches  # missing from baseline
+
+    def test_report_dataclass(self):
+        report = ComparisonReport(name="x")
+        assert report.matches
+        report.structural_errors.append("boom")
+        assert not report.matches

@@ -1,0 +1,185 @@
+"""Tests for Theorems 1-4 and the combined analyze() entry point."""
+
+import math
+
+import pytest
+
+from repro.analysis.ode import CollectionODE
+from repro.analysis.theorems import (
+    analyze,
+    poisson_degree_distribution,
+    solve_z0_fixed_point,
+    theorem1_storage,
+    theorem2_throughput,
+    theorem2_throughput_s1,
+    theorem3_block_delay,
+    theorem4_saved_data,
+)
+
+
+class TestFixedPoint:
+    def test_satisfies_equation(self):
+        lam, mu, gamma = 2.0, 3.0, 1.0
+        z0 = solve_z0_fixed_point(lam, mu, gamma)
+        assert z0 == pytest.approx(
+            math.exp(-(1 - z0) * mu / gamma - lam / gamma), abs=1e-10
+        )
+
+    def test_bounds(self):
+        assert 0.0 < solve_z0_fixed_point(0.1, 0.1, 1.0) < 1.0
+        assert solve_z0_fixed_point(50.0, 10.0, 1.0) < 1e-10
+
+    def test_no_gossip_reduces_to_mm_infty(self):
+        # mu = 0: z0 = e^(-lambda/gamma), the M/M/inf empty probability
+        z0 = solve_z0_fixed_point(3.0, 0.0, 1.0)
+        assert z0 == pytest.approx(math.exp(-3.0))
+
+
+class TestTheorem1:
+    def test_overhead_bounded_by_mu_over_gamma(self):
+        result = theorem1_storage(8.0, 10.0, 2.0)
+        assert result.overhead < result.overhead_bound
+        assert result.within_bound
+
+    def test_occupancy_formula(self):
+        result = theorem1_storage(8.0, 10.0, 2.0)
+        expected = (1 - result.z0) * 10.0 / 2.0 + 8.0 / 2.0
+        assert result.occupancy == pytest.approx(expected)
+
+    def test_matches_ode_steady_state(self):
+        result = theorem1_storage(8.0, 6.0, 1.0)
+        steady = CollectionODE(8.0, 6.0, 1.0, 1, 2.0).steady_state()
+        assert result.occupancy == pytest.approx(steady.e, rel=0.01)
+        assert result.z0 == pytest.approx(steady.z0, abs=1e-3)
+
+    def test_poisson_degree_distribution(self):
+        result = theorem1_storage(2.0, 2.0, 1.0)
+        z = poisson_degree_distribution(result.occupancy, result.z0, 80)
+        assert z.sum() == pytest.approx(1.0, abs=1e-6)
+        assert z[0] == result.z0
+        with pytest.raises(ValueError):
+            poisson_degree_distribution(1.0, 0.3, -1)
+
+
+class TestTheorem2:
+    def test_closed_form_matches_ode_for_s1(self):
+        """The quadratic-root expression and the m-system steady state are
+        two independent derivations of the same quantity."""
+        for c in (2.0, 4.0):
+            closed = theorem2_throughput_s1(8.0, 6.0, 1.0, c)
+            steady = CollectionODE(8.0, 6.0, 1.0, 1, c).steady_state()
+            from_ode = theorem2_throughput(steady, 8.0, c, 1)
+            assert closed.normalized_throughput == pytest.approx(
+                from_ode.normalized_throughput, rel=0.01
+            )
+
+    def test_throughput_increases_with_s(self):
+        values = []
+        for s in (1, 2, 5, 10, 20):
+            steady = CollectionODE(20.0, 10.0, 1.0, s, 8.0).steady_state()
+            values.append(
+                theorem2_throughput(steady, 20.0, 8.0, s).normalized_throughput
+            )
+        assert values == sorted(values)
+
+    def test_throughput_approaches_capacity(self):
+        steady = CollectionODE(20.0, 10.0, 1.0, 30, 8.0).steady_state()
+        result = theorem2_throughput(steady, 20.0, 8.0, 30)
+        assert result.normalized_throughput == pytest.approx(0.4, abs=0.005)
+        assert result.efficiency > 0.99
+
+    def test_gap_to_capacity_wider_for_larger_c(self):
+        """The paper's closing Fig. 3 observation."""
+        gaps = []
+        for c in (4.0, 8.0, 12.0):
+            steady = CollectionODE(20.0, 10.0, 1.0, 5, c).steady_state()
+            result = theorem2_throughput(steady, 20.0, c, 5)
+            gaps.append(
+                (result.capacity_ratio - result.normalized_throughput)
+                / result.capacity_ratio
+            )
+        assert gaps == sorted(gaps)
+
+    def test_efficiency_bounds(self):
+        result = theorem2_throughput_s1(20.0, 10.0, 1.0, 8.0)
+        assert 0.0 < result.efficiency <= 1.0
+        assert 0.0 < result.normalized_throughput <= 1.0
+
+    def test_fraction_of_capacity(self):
+        result = theorem2_throughput_s1(20.0, 10.0, 1.0, 8.0)
+        assert 0.0 < result.fraction_of_capacity <= 1.0
+
+
+class TestTheorem3:
+    def test_positive_for_coded_regime(self):
+        steady = CollectionODE(20.0, 10.0, 1.0, 5, 8.0).steady_state()
+        throughput = theorem2_throughput(steady, 20.0, 8.0, 5)
+        delay = theorem3_block_delay(
+            steady, 20.0, throughput.normalized_throughput, 5
+        )
+        assert delay.block_delay > 0
+        assert delay.segment_delay == pytest.approx(delay.block_delay * 5)
+        assert delay.segment_lifetime > delay.good_time
+
+    def test_delay_peaks_at_small_s_then_decays(self):
+        """The paper's Fig. 5 shape: a hump at small coded s."""
+        delays = {}
+        for s in (2, 5, 20, 30):
+            steady = CollectionODE(20.0, 10.0, 1.0, s, 8.0).steady_state()
+            sigma = theorem2_throughput(
+                steady, 20.0, 8.0, s
+            ).normalized_throughput
+            delays[s] = theorem3_block_delay(steady, 20.0, sigma, s).block_delay
+        assert delays[5] > delays[2] or delays[5] > delays[20]
+        assert delays[20] > delays[30]
+        assert delays[5] > delays[30]
+
+    def test_zero_throughput_rejected(self):
+        steady = CollectionODE(8.0, 6.0, 1.0, 1, 2.0).steady_state()
+        with pytest.raises(ValueError):
+            theorem3_block_delay(steady, 8.0, 0.0, 1)
+
+
+class TestTheorem4:
+    def test_saved_decreases_with_s(self):
+        """The paper's Fig. 6 shape."""
+        values = []
+        for s in (1, 2, 5, 10, 20):
+            steady = CollectionODE(20.0, 10.0, 1.0, s, 8.0).steady_state()
+            values.append(theorem4_saved_data(steady, s).saved_blocks_per_peer)
+        assert values == sorted(values, reverse=True)
+        assert all(v > 0 for v in values)
+
+    def test_saved_shrinks_with_capacity(self):
+        """More server capacity reconstructs more, leaving less saved."""
+        small_c = theorem4_saved_data(
+            CollectionODE(20.0, 10.0, 1.0, 5, 4.0).steady_state(), 5
+        ).saved_blocks_per_peer
+        large_c = theorem4_saved_data(
+            CollectionODE(20.0, 10.0, 1.0, 5, 12.0).steady_state(), 5
+        ).saved_blocks_per_peer
+        assert large_c < small_c
+
+    def test_component_consistency(self):
+        steady = CollectionODE(8.0, 6.0, 1.0, 2, 2.0).steady_state()
+        result = theorem4_saved_data(steady, 2)
+        assert result.reconstructed_segments_per_peer <= (
+            result.decodable_segments_per_peer + 1e-9
+        )
+        assert result.saved_blocks_per_peer == pytest.approx(
+            2
+            * (
+                result.decodable_segments_per_peer
+                - result.reconstructed_segments_per_peer
+            ),
+            abs=1e-9,
+        )
+
+
+class TestAnalyze:
+    def test_bundles_all_theorems(self):
+        point = analyze(8.0, 6.0, 1.0, 2, 2.0)
+        assert point.storage.occupancy == pytest.approx(point.steady.e, rel=0.02)
+        assert 0 < point.throughput.normalized_throughput <= 1
+        assert point.saved.saved_blocks_per_peer >= 0
+        assert point.delay.segment_delay == point.delay.block_delay * 2

@@ -1,0 +1,117 @@
+"""Tests for overlay topologies."""
+
+import random
+
+import pytest
+
+from repro.sim.topology import (
+    CompleteTopology,
+    ExplicitTopology,
+    erdos_renyi_topology,
+    random_regular_topology,
+)
+
+
+class TestCompleteTopology:
+    def test_degree(self):
+        topo = CompleteTopology(5)
+        assert topo.degree(0) == 4
+        assert topo.n_slots == 5
+
+    def test_neighbors_exclude_self(self):
+        topo = CompleteTopology(4)
+        assert topo.neighbors(2) == [0, 1, 3]
+
+    def test_sample_neighbor_never_self(self):
+        topo = CompleteTopology(6)
+        rng = random.Random(0)
+        for _ in range(200):
+            assert topo.sample_neighbor(3, rng) != 3
+
+    def test_sample_neighbor_uniform(self):
+        topo = CompleteTopology(4)
+        rng = random.Random(1)
+        counts = {0: 0, 2: 0, 3: 0}
+        trials = 6000
+        for _ in range(trials):
+            counts[topo.sample_neighbor(1, rng)] += 1
+        for count in counts.values():
+            assert abs(count / trials - 1 / 3) < 0.05
+
+    def test_single_peer_has_no_neighbors(self):
+        topo = CompleteTopology(1)
+        assert topo.sample_neighbor(0, random.Random(0)) is None
+        assert topo.neighbors(0) == []
+
+    def test_slot_out_of_range(self):
+        topo = CompleteTopology(3)
+        with pytest.raises(ValueError):
+            topo.neighbors(3)
+        with pytest.raises(ValueError):
+            topo.degree(-1)
+
+
+class TestExplicitTopology:
+    def test_symmetrized(self):
+        topo = ExplicitTopology(3, {0: [1]})
+        assert topo.neighbors(1) == [0]
+        assert topo.neighbors(0) == [1]
+        assert topo.neighbors(2) == []
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology(2, {0: [0]})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology(2, {0: [5]})
+        with pytest.raises(ValueError):
+            ExplicitTopology(2, {5: [0]})
+
+    def test_sample_isolated_returns_none(self):
+        topo = ExplicitTopology(3, {0: [1]})
+        assert topo.sample_neighbor(2, random.Random(0)) is None
+
+
+class TestErdosRenyi:
+    def test_probability_zero_is_empty(self):
+        topo = erdos_renyi_topology(10, 0.0, random.Random(0))
+        assert all(topo.degree(i) == 0 for i in range(10))
+
+    def test_probability_one_is_complete(self):
+        topo = erdos_renyi_topology(6, 1.0, random.Random(0))
+        assert all(topo.degree(i) == 5 for i in range(6))
+
+    def test_mean_degree_close_to_np(self):
+        n, p = 60, 0.3
+        topo = erdos_renyi_topology(n, p, random.Random(5))
+        mean_degree = sum(topo.degree(i) for i in range(n)) / n
+        assert abs(mean_degree - (n - 1) * p) < 3.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_topology(5, 1.5, random.Random(0))
+
+
+class TestRandomRegular:
+    def test_all_degrees_equal(self):
+        topo = random_regular_topology(20, 4, random.Random(1))
+        assert all(topo.degree(i) == 4 for i in range(20))
+
+    def test_no_self_loops(self):
+        topo = random_regular_topology(12, 3, random.Random(2))
+        for slot in range(12):
+            assert slot not in topo.neighbors(slot)
+
+    def test_odd_total_stubs_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_topology(5, 3, random.Random(0))
+
+    def test_degree_at_least_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_topology(4, 4, random.Random(0))
+
+    def test_different_seeds_give_different_graphs(self):
+        a = random_regular_topology(20, 4, random.Random(1))
+        b = random_regular_topology(20, 4, random.Random(2))
+        assert any(a.neighbors(i) != b.neighbors(i) for i in range(20))

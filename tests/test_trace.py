@@ -1,0 +1,132 @@
+"""Tests for event tracing and the instrumented collection system."""
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.system import CollectionSystem
+from repro.sim.trace import (
+    ALL_KINDS,
+    KIND_COMPLETE,
+    KIND_GOSSIP,
+    KIND_INJECT,
+    TraceEvent,
+    Tracer,
+)
+
+
+def traced_run(tracer, seed=1, duration=6.0, **overrides):
+    defaults = dict(
+        n_peers=30,
+        arrival_rate=4.0,
+        gossip_rate=6.0,
+        deletion_rate=1.0,
+        normalized_capacity=2.0,
+        segment_size=3,
+        n_servers=2,
+    )
+    defaults.update(overrides)
+    system = CollectionSystem(Parameters(**defaults), seed=seed, tracer=tracer)
+    system.run_until(duration)
+    return system
+
+
+class TestTracer:
+    def test_record_and_read(self):
+        tracer = Tracer()
+        tracer.record(1.0, KIND_INJECT, peer=3, segment=7, size=4.0)
+        assert len(tracer) == 1
+        event = tracer.events[0]
+        assert event.time == 1.0 and event.peer == 3 and event.segment == 7
+        assert event.detail == {"size": 4.0}
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=[KIND_INJECT])
+        tracer.record(0.0, KIND_INJECT, peer=1)
+        tracer.record(0.1, KIND_GOSSIP, peer=1)
+        assert len(tracer) == 1
+        assert tracer.counts == {KIND_INJECT: 1}
+        assert not tracer.wants(KIND_GOSSIP)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(kinds=["injct"])
+
+    def test_ring_buffer_keeps_latest(self):
+        tracer = Tracer(max_events=3)
+        for index in range(10):
+            tracer.record(float(index), KIND_INJECT, peer=index)
+        assert len(tracer) == 3
+        assert [e.peer for e in tracer.events] == [7, 8, 9]
+        assert tracer.dropped == 7
+        assert tracer.counts[KIND_INJECT] == 10  # counters see everything
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+    def test_selectors(self):
+        tracer = Tracer()
+        tracer.record(0.0, KIND_INJECT, peer=1, segment=5)
+        tracer.record(1.0, KIND_GOSSIP, peer=2, segment=5)
+        tracer.record(2.0, KIND_INJECT, peer=2, segment=6)
+        assert len(tracer.of_kind(KIND_INJECT)) == 2
+        assert len(tracer.for_segment(5)) == 2
+        assert len(tracer.for_peer(2)) == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(0.5, KIND_INJECT, peer=1, segment=2, size=3.0)
+        tracer.record(1.5, KIND_COMPLETE, peer=1, segment=2, delay=1.0)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.to_jsonl(path) == 2
+        restored = Tracer.read_jsonl(path)
+        assert restored == tracer.events
+
+    def test_summary_format(self):
+        tracer = Tracer(max_events=1)
+        tracer.record(0.0, KIND_INJECT)
+        tracer.record(1.0, KIND_INJECT)
+        text = tracer.summary()
+        assert "inject=2" in text and "dropped 1" in text
+
+
+class TestInstrumentedSystem:
+    def test_untraced_system_records_nothing(self):
+        system = traced_run(None)
+        assert system.tracer is None
+
+    def test_all_kind_coverage_under_churn(self):
+        tracer = Tracer()
+        traced_run(tracer, mean_lifetime=3.0, duration=10.0)
+        assert set(tracer.counts) == set(ALL_KINDS)
+
+    def test_inject_counts_match_metrics(self):
+        tracer = Tracer()
+        system = traced_run(tracer)
+        assert tracer.counts[KIND_INJECT] == system.metrics.injected_segments.total
+
+    def test_gossip_counts_match_metrics(self):
+        tracer = Tracer()
+        system = traced_run(tracer)
+        assert tracer.counts[KIND_GOSSIP] == system.metrics.gossip_transfers.total
+
+    def test_segment_life_is_ordered(self):
+        tracer = Tracer()
+        traced_run(tracer, duration=8.0)
+        completes = tracer.of_kind(KIND_COMPLETE)
+        assert completes, "no segment completed in the traced run"
+        segment_id = completes[0].segment
+        life = tracer.for_segment(segment_id)
+        assert life[0].kind == KIND_INJECT
+        times = [event.time for event in life]
+        assert times == sorted(times)
+        # the completion event carries the delivery delay
+        complete = next(e for e in life if e.kind == KIND_COMPLETE)
+        assert complete.detail["delay"] == pytest.approx(
+            complete.time - life[0].time
+        )
+
+    def test_event_dataclass_as_dict(self):
+        event = TraceEvent(time=1.0, kind=KIND_INJECT, peer=None, segment=3)
+        payload = event.as_dict()
+        assert payload == {"time": 1.0, "kind": KIND_INJECT, "segment": 3}

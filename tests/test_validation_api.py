@@ -1,0 +1,97 @@
+"""Tests for the public theory-validation helper."""
+
+import pytest
+
+from repro.analysis.validation import (
+    DEFAULT_TOLERANCES,
+    MetricCheck,
+    ValidationResult,
+    validate_report,
+)
+from repro.core.params import Parameters
+from repro.core.system import CollectionSystem
+
+
+def params(**overrides):
+    defaults = dict(
+        n_peers=120,
+        arrival_rate=10.0,
+        gossip_rate=8.0,
+        deletion_rate=1.0,
+        normalized_capacity=4.0,
+        segment_size=8,
+        n_servers=3,
+    )
+    defaults.update(overrides)
+    return Parameters(**defaults)
+
+
+class TestMetricCheck:
+    def test_pass_fail(self):
+        ok = MetricCheck("x", 1.0, 1.05, relative_error=0.05, tolerance=0.1)
+        bad = MetricCheck("x", 1.0, 2.0, relative_error=0.5, tolerance=0.1)
+        assert ok.passed and not bad.passed
+        assert "ok" in str(ok) and "MISMATCH" in str(bad)
+
+
+class TestValidateReport:
+    def run_and_validate(self, config=None, **kwargs):
+        config = config or params()
+        report = CollectionSystem(config, seed=5).run(10.0, 14.0)
+        return validate_report(report, config, **kwargs)
+
+    def test_clean_run_passes(self):
+        result = self.run_and_validate()
+        assert result.applicable
+        assert result.passed, result.summary()
+        assert set(result.checks) == set(DEFAULT_TOLERANCES)
+        assert not result.failures()
+
+    def test_summary_is_readable(self):
+        result = self.run_and_validate()
+        text = result.summary()
+        assert "occupancy" in text and "throughput" in text
+
+    def test_tight_tolerance_fails(self):
+        result = self.run_and_validate(
+            tolerances={"saved_blocks": 1e-6}
+        )
+        assert not result.passed
+        assert "saved_blocks" in result.failures()
+
+    def test_unknown_tolerance_key_rejected(self):
+        with pytest.raises(ValueError):
+            self.run_and_validate(tolerances={"velocity": 0.1})
+
+    def test_churn_not_applicable(self):
+        config = params(mean_lifetime=3.0)
+        report = CollectionSystem(config, seed=5).run(4.0, 6.0)
+        result = validate_report(report, config)
+        assert not result.applicable
+        assert not result.passed
+        assert "churn" in result.reason
+
+    def test_uniform_selection_not_applicable(self):
+        config = params(segment_selection="uniform")
+        report = CollectionSystem(config, seed=5).run(4.0, 6.0)
+        result = validate_report(report, config)
+        assert not result.applicable
+        assert "proportional" in result.reason
+
+    def test_nonrandom_policy_not_applicable(self):
+        config = params(pull_policy="greedy-completion")
+        report = CollectionSystem(config, seed=5).run(4.0, 6.0)
+        result = validate_report(report, config)
+        assert not result.applicable
+        assert "coupon-collector" in result.reason
+
+    def test_near_zero_prediction_uses_absolute_scale(self):
+        """z0 ~ 0 must not fail on a 0-vs-1e-13 relative comparison."""
+        result = self.run_and_validate()
+        check = result.checks["empty_fraction"]
+        assert check.predicted < 1e-6
+        assert check.passed
+
+    def test_validation_result_dataclass(self):
+        empty = ValidationResult(checks={}, applicable=True)
+        assert empty.passed  # vacuously

@@ -1,0 +1,125 @@
+"""Tests for workload rate profiles."""
+
+import math
+
+import pytest
+
+from repro.stats.workload import (
+    ConstantWorkload,
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    PiecewiseWorkload,
+    ShutoffWorkload,
+)
+
+
+class TestConstant:
+    def test_rate_everywhere(self):
+        w = ConstantWorkload(4.0)
+        assert w.rate(0.0) == 4.0
+        assert w.rate(1e6) == 4.0
+        assert w.max_rate == 4.0
+
+    def test_mean_rate(self):
+        assert ConstantWorkload(4.0).mean_rate(0, 10) == 4.0
+
+    def test_mean_rate_bad_interval(self):
+        with pytest.raises(ValueError):
+            ConstantWorkload(4.0).mean_rate(5, 5)
+
+    def test_zero_rate_allowed(self):
+        assert ConstantWorkload(0.0).rate(1.0) == 0.0
+
+    def test_peak_to_average(self):
+        assert ConstantWorkload(4.0).peak_to_average(0, 10) == 1.0
+
+
+class TestFlashCrowd:
+    def make(self):
+        return FlashCrowdWorkload(
+            base_rate=2.0, burst_start=10.0, burst_end=15.0, multiplier=5.0
+        )
+
+    def test_profile(self):
+        w = self.make()
+        assert w.rate(5.0) == 2.0
+        assert w.rate(10.0) == 10.0
+        assert w.rate(14.999) == 10.0
+        assert w.rate(15.0) == 2.0
+        assert w.max_rate == 10.0
+
+    def test_mean_rate_exact(self):
+        w = self.make()
+        # over [0, 20): 15 units at 2 plus 5 units at 10
+        assert w.mean_rate(0, 20) == pytest.approx((15 * 2 + 5 * 10) / 20)
+
+    def test_mean_rate_outside_burst(self):
+        w = self.make()
+        assert w.mean_rate(0, 10) == pytest.approx(2.0)
+
+    def test_peak_to_average(self):
+        w = self.make()
+        assert w.peak_to_average(0, 20) == pytest.approx(10.0 / 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdWorkload(2.0, 5.0, 5.0, 2.0)  # empty window
+        with pytest.raises(ValueError):
+            FlashCrowdWorkload(2.0, 5.0, 6.0, 0.5)  # multiplier < 1
+
+
+class TestDiurnal:
+    def test_oscillation(self):
+        w = DiurnalWorkload(base_rate=4.0, amplitude=0.5, period=24.0)
+        assert w.rate(6.0) == pytest.approx(6.0)  # peak at quarter period
+        assert w.rate(18.0) == pytest.approx(2.0)  # trough
+        assert w.max_rate == 6.0
+
+    def test_mean_over_period(self):
+        w = DiurnalWorkload(base_rate=4.0, amplitude=0.5, period=24.0)
+        assert w.mean_rate(0, 24) == pytest.approx(4.0, abs=0.01)
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ValueError):
+            DiurnalWorkload(4.0, 1.5, 24.0)
+
+
+class TestPiecewise:
+    def test_steps(self):
+        w = PiecewiseWorkload([(0.0, 1.0), (10.0, 3.0), (20.0, 0.0)])
+        assert w.rate(5.0) == 1.0
+        assert w.rate(10.0) == 3.0
+        assert w.rate(25.0) == 0.0
+        assert w.max_rate == 3.0
+
+    def test_before_first_step(self):
+        w = PiecewiseWorkload([(5.0, 2.0)])
+        assert w.rate(0.0) == 2.0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseWorkload([(10.0, 1.0), (0.0, 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseWorkload([])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseWorkload([(0.0, -1.0)])
+
+
+class TestShutoff:
+    def test_cutoff(self):
+        w = ShutoffWorkload(3.0, cutoff=10.0)
+        assert w.rate(9.999) == 3.0
+        assert w.rate(10.0) == 0.0
+        assert w.max_rate == 3.0
+
+    def test_mean_rate_spans_cutoff(self):
+        w = ShutoffWorkload(3.0, cutoff=10.0)
+        assert w.mean_rate(0, 20) == pytest.approx(1.5, abs=0.01)
+
+    def test_peak_to_average_infinite_after_cutoff(self):
+        w = ShutoffWorkload(3.0, cutoff=0.0)
+        assert math.isinf(w.peak_to_average(1, 2))
