@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fault drill: lossy links plus a scheduled server outage, end to end.
+
+The paper's collection architecture is valuable precisely when conditions
+are bad — indirect collection exists because the direct path to the server
+fails peers at scale.  This drill subjects one session to the two faults a
+deployment meets first (dropped transfers and a server maintenance window)
+and reads the degradation off the standard report: how much delivery is
+lost, how long the servers were dark, and how the catch-up burst claws
+back the backlog after recovery.
+
+Run:  python examples/fault_drill.py
+"""
+
+from repro import Parameters
+from repro.core.system import CollectionSystem
+from repro.faults import FaultPlan
+
+WARMUP = 3.0
+DURATION = 12.0
+#: servers go dark for a 2.5-time-unit maintenance window mid-measurement
+OUTAGE = (6.0, 8.5)
+PARAMS = Parameters(
+    n_peers=120,
+    arrival_rate=6.0,
+    gossip_rate=10.0,
+    deletion_rate=1.0,
+    normalized_capacity=3.0,
+    segment_size=6,
+    n_servers=3,
+)
+PLAN = FaultPlan(
+    gossip_loss_rate=0.15,
+    pull_loss_rate=0.15,
+    outage_windows=(OUTAGE,),
+    catchup_limit=6,
+)
+
+
+def run(plan):
+    params = PARAMS if plan is None else PARAMS.with_changes(faults=plan)
+    system = CollectionSystem(params, seed=11)
+    report = system.run(WARMUP, DURATION)
+    return system, report
+
+
+def main() -> None:
+    print(f"fault drill: {PLAN.describe()}")
+    print(f"measurement window [{WARMUP:g}, {WARMUP + DURATION:g}], "
+          f"outage window [{OUTAGE[0]:g}, {OUTAGE[1]:g}]\n")
+
+    _, clean = run(None)
+    faulty_system, faulty = run(PLAN)
+
+    rows = [
+        ("normalized goodput", clean.normalized_goodput,
+         faulty.normalized_goodput),
+        ("collection efficiency", clean.efficiency, faulty.efficiency),
+        ("segments completed", clean.segments_completed,
+         faulty.segments_completed),
+        ("mean block delay", clean.mean_block_delay or float("nan"),
+         faulty.mean_block_delay or float("nan")),
+    ]
+    print(f"{'metric':24s} {'fault-free':>12s} {'faulted':>12s} {'ratio':>8s}")
+    for name, base, hit in rows:
+        ratio = hit / base if base else float("nan")
+        print(f"{name:24s} {base:12.4f} {hit:12.4f} {ratio:8.2f}")
+
+    print()
+    print(f"transfers dropped in flight : {faulty.transfers_dropped}")
+    print(f"server downtime in window   : {faulty.outage_time:.2f} "
+          f"(scheduled {OUTAGE[1] - OUTAGE[0]:.2f})")
+    survived = (faulty.normalized_goodput / clean.normalized_goodput
+                if clean.normalized_goodput else float("nan"))
+    print(
+        f"\ndelivery survived at {survived:.0%} of the fault-free level: "
+        "gossip keeps replicating through the outage, so the backlog the "
+        "servers face at recovery is mostly still alive in peer buffers."
+    )
+    assert faulty_system.faults is not None
+    faulty_system.consistency_check()
+    print("consistency check: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ TABLE_TITLES = {
     "ABL_SCHED_TABLE": r"^Ablation — server pull scheduling",
     "ABL_CODE_TABLE": r"^Ablation — abstract innovation",
     "ABL_TOPO_TABLE": r"^Ablation — overlay degree",
+    "ROBUST_TABLE": r"^Robustness — fault injection",
 }
 
 

@@ -26,6 +26,7 @@ from repro.experiments import (
     run_fig4,
     run_fig5,
     run_fig6,
+    run_robustness,
     run_scheduler_ablation,
     run_selection_ablation,
     run_theorem1,
@@ -42,6 +43,7 @@ RUNNERS: Dict[str, Callable[..., SeriesResult]] = {
     "theorem1": run_theorem1,
     "transient": run_transient,
     "baseline": run_baseline_comparison,
+    "robustness": run_robustness,
     "ablation-ttl": run_ttl_ablation,
     "ablation-buffer": run_buffer_ablation,
     "ablation-selection": run_selection_ablation,

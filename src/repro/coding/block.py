@@ -74,6 +74,12 @@ class CodedBlock:
     #: Liveness flag flipped by TTL expiry and churn; lets stale deletion
     #: events detect that their target is already gone.
     alive: bool = field(default=True, compare=False)
+    #: Fault-injection tag: the block was emitted (or re-encoded from a
+    #: holding contaminated) by a polluting peer.  In RLNC mode the
+    #: coefficient header is additionally zeroed, so GF(2^8) rank detection
+    #: rejects the block without consulting this flag; abstract mode relies
+    #: on the tag alone (the tagged-block approximation).
+    polluted: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.coefficients is not None:

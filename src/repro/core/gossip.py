@@ -47,6 +47,7 @@ class GossipProtocol:
         store_block: Callable[[Peer, CodedBlock], None],
         registry: SegmentRegistry,
         metrics: MetricsCollector,
+        faults=None,
     ) -> None:
         self._params = params
         self._topology = topology
@@ -56,6 +57,10 @@ class GossipProtocol:
         self._store_block = store_block
         self._registry = registry
         self._metrics = metrics
+        #: optional FaultInjector; when set, polluter peers corrupt their
+        #: emissions here, at the source (transfer loss is the receiver's
+        #: problem and lives in the system's store callback).
+        self._faults = faults
 
     def tick(self, slot: int, now: float) -> bool:
         """One gossip opportunity for the peer in *slot*.
@@ -78,6 +83,8 @@ class GossipProtocol:
 
         holding = sender.holdings[segment_id]
         block = holding.make_coded_block(self._coding_rng, now)
+        if self._faults is not None:
+            self._faults.maybe_pollute(slot, holding, block)
         self._store_block(target, block)
         self._metrics.gossip_transfers.increment(self._metrics.in_window)
         return True

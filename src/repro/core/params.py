@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.faults.plan import FaultPlan
 from repro.util.validation import (
     require_nonnegative,
     require_positive,
@@ -87,6 +88,9 @@ class Parameters:
     #: eligibility on arrival and dropped if the target filled up or the
     #: segment meanwhile went extinct (realism extension).
     gossip_latency: float = 0.0
+    #: optional fault-injection configuration (lossy links, pollution,
+    #: server outages, churn bursts); None or a null plan means fault-free.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         require_positive_int("n_peers", self.n_peers)
@@ -137,6 +141,10 @@ class Parameters:
             )
         require_positive_int("scheduler_tries", self.scheduler_tries)
         require_nonnegative("gossip_latency", self.gossip_latency)
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
 
     # -- derived quantities --------------------------------------------------
 
@@ -188,6 +196,11 @@ class Parameters:
     def churn_enabled(self) -> bool:
         """True when a finite mean lifetime is configured."""
         return self.mean_lifetime is not None and not math.isinf(self.mean_lifetime)
+
+    @property
+    def has_faults(self) -> bool:
+        """True when a non-null fault plan is configured."""
+        return self.faults is not None and not self.faults.is_null
 
     @property
     def is_coded(self) -> bool:

@@ -34,11 +34,15 @@ from repro.util.randomset import RandomizedSet
 class SegmentHolding:
     """All live blocks one peer holds for one segment."""
 
-    __slots__ = ("descriptor", "blocks", "_rank_cache")
+    __slots__ = ("descriptor", "blocks", "polluted_count", "_rank_cache")
 
     def __init__(self, descriptor: SegmentDescriptor) -> None:
         self.descriptor = descriptor
         self.blocks: List[CodedBlock] = []
+        #: live blocks carrying the pollution tag (fault injection); peers
+        #: cannot tell junk from data, so polluted blocks occupy buffer space
+        #: like any other — but they contribute no useful information.
+        self.polluted_count = 0
         self._rank_cache: Optional[int] = None
 
     @property
@@ -55,7 +59,8 @@ class SegmentHolding:
         if not self.blocks:
             return 0
         if self.blocks[0].coefficients is None:
-            return min(len(self.blocks), self.descriptor.size)
+            useful = len(self.blocks) - self.polluted_count
+            return min(useful, self.descriptor.size)
         if self._rank_cache is None:
             matrix = np.stack([block.coefficients for block in self.blocks])
             self._rank_cache = matrix_rank(matrix)
@@ -69,6 +74,8 @@ class SegmentHolding:
                 f"holding of segment {self.descriptor.segment_id}"
             )
         self.blocks.append(block)
+        if block.polluted:
+            self.polluted_count += 1
         self._rank_cache = None
 
     def remove(self, block: CodedBlock) -> bool:
@@ -77,6 +84,8 @@ class SegmentHolding:
             self.blocks.remove(block)
         except ValueError:
             return False
+        if block.polluted:
+            self.polluted_count -= 1
         self._rank_cache = None
         return True
 

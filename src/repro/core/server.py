@@ -38,7 +38,9 @@ from repro.core.params import (
 )
 from repro.core.peer import Peer
 from repro.core.segments import SegmentRegistry, SegmentState
+from repro.faults.injector import corrupt_block
 from repro.sim.metrics import MetricsCollector
+from repro.sim.trace import KIND_DROP, KIND_POLLUTED
 
 #: Server pull-scheduling policies (see module docstring).
 POLICY_RANDOM = "random"
@@ -62,6 +64,10 @@ class LoggingServer:
     useful_pulls: int = 0
     redundant_pulls: int = 0
     idle_pulls: int = 0
+    #: fault injection: pulls whose block transfer was lost in flight.
+    dropped_pulls: int = 0
+    #: fault injection: polluted blocks detected and discarded.
+    polluted_pulls: int = 0
 
     @property
     def efficiency(self) -> float:
@@ -92,6 +98,8 @@ class ServerPool:
         scheduler_tries: int = 8,
         all_peers: Optional[Callable[[int], Peer]] = None,
         n_slots: int = 0,
+        faults=None,
+        tracer=None,
     ) -> None:
         if n_servers < 1:
             raise ValueError(f"n_servers must be >= 1, got {n_servers}")
@@ -128,6 +136,10 @@ class ServerPool:
         self._all_peers = all_peers
         self._n_slots = n_slots
         self._rr_cursor = 0
+        #: optional FaultInjector (transfer loss + pollution detection) and
+        #: Tracer for the fault-channel events.
+        self._faults = faults
+        self._tracer = tracer
 
     # -- candidate selection ---------------------------------------------------
 
@@ -184,7 +196,16 @@ class ServerPool:
         return self._draw_candidate()
 
     def pull(self, server_index: int, now: float) -> None:
-        """Execute one pull trial for server *server_index* at time *now*."""
+        """Execute one pull trial for server *server_index* at time *now*.
+
+        Under fault injection the trial may additionally (a) lose the block
+        transfer in flight (``pull_loss_rate``), or (b) receive a polluted
+        block, which the server detects and discards — in RLNC mode through
+        the actual GF(2^8) rank arithmetic (a corrupted header is provably
+        non-innovative), in abstract mode through the pollution tag — and
+        then retries up to ``pollution_repull_budget`` more draws within the
+        same trial.  Neither path can corrupt the pooled decoder state.
+        """
         server = self.servers[server_index]
         server.pulls += 1
         in_window = self._metrics.in_window
@@ -206,19 +227,80 @@ class ServerPool:
             self._metrics.redundant_pulls.increment(in_window)
             return
 
-        if self._rlnc_mode:
-            holding = peer.holdings[state.segment_id]
-            block = holding.make_coded_block(self._coding_rng, now)
-            innovative = self._registry.on_server_block(state, now, block)
-        else:
-            innovative = self._registry.on_server_block(state, now)
+        faults = self._faults
+        if faults is not None and faults.drop_pull():
+            server.dropped_pulls += 1
+            self._metrics.transfers_dropped.increment(in_window)
+            if self._tracer is not None:
+                self._tracer.record(
+                    now,
+                    KIND_DROP,
+                    peer=peer.slot,
+                    segment=state.segment_id,
+                    pull=1.0,
+                )
+            return
 
-        if innovative:
-            server.useful_pulls += 1
-            self._metrics.useful_pulls.increment(in_window)
-        else:
-            server.redundant_pulls += 1
-            self._metrics.redundant_pulls.increment(in_window)
+        attempts = 1
+        if faults is not None and faults.polluters:
+            attempts += faults.plan.pollution_repull_budget
+        while True:
+            attempts -= 1
+            holding = peer.holdings[state.segment_id]
+            polluted = faults is not None and faults.pollutes(
+                peer.slot, holding
+            )
+            if self._rlnc_mode:
+                block = holding.make_coded_block(self._coding_rng, now)
+                if polluted:
+                    block = corrupt_block(block)
+                # The corrupted block still goes through the real decoder:
+                # detection must come from rank arithmetic, not from trust
+                # in the tag.  A zeroed header can never be innovative.
+                innovative = self._registry.on_server_block(state, now, block)
+                if polluted and innovative:
+                    raise AssertionError(
+                        "polluted block counted innovative by the decoder"
+                    )
+            elif polluted:
+                # Abstract mode: the tag *is* the detection (tagged-block
+                # approximation); the block never reaches the server state.
+                innovative = False
+            else:
+                innovative = self._registry.on_server_block(state, now)
+
+            if polluted:
+                server.polluted_pulls += 1
+                self._metrics.blocks_rejected_polluted.increment(in_window)
+                if self._tracer is not None:
+                    self._tracer.record(
+                        now,
+                        KIND_POLLUTED,
+                        peer=peer.slot,
+                        segment=state.segment_id,
+                    )
+                if attempts <= 0:
+                    # Re-pull budget spent: the trial collected nothing.
+                    return
+                candidate = self._select()
+                if candidate is None:
+                    server.idle_pulls += 1
+                    self._metrics.idle_pulls.increment(in_window)
+                    return
+                peer, state = candidate
+                if state.is_complete:
+                    server.redundant_pulls += 1
+                    self._metrics.redundant_pulls.increment(in_window)
+                    return
+                continue
+
+            if innovative:
+                server.useful_pulls += 1
+                self._metrics.useful_pulls.increment(in_window)
+            else:
+                server.redundant_pulls += 1
+                self._metrics.redundant_pulls.increment(in_window)
+            return
 
     # -- diagnostics -----------------------------------------------------------
 

@@ -46,15 +46,18 @@ from repro.core.params import MODE_RLNC, Parameters
 from repro.core.peer import Peer
 from repro.core.segments import SegmentRegistry, SegmentState
 from repro.core.server import ServerPool
+from repro.faults.injector import FaultInjector
 from repro.sim.churn import ChurnModel
 from repro.sim.engine import PoissonProcess, Simulator, ThinnedPoissonProcess
 from repro.sim.metrics import MetricsCollector, MetricsReport
 from repro.sim.rng import SeedSequenceRegistry, exponential
 from repro.sim.topology import CompleteTopology, Topology
 from repro.sim.trace import (
+    KIND_BURST,
     KIND_COLLECT,
     KIND_COMPLETE,
     KIND_DEPART,
+    KIND_DROP,
     KIND_EXPIRE,
     KIND_GOSSIP,
     KIND_INJECT,
@@ -204,6 +207,22 @@ class CollectionSystem:
         self.metrics.set_deletion_rate(params.deletion_rate)
         self.registry = SegmentRegistry(self.metrics, use_decoders=self._rlnc)
 
+        #: fault injector, created only for a non-null plan so fault-free
+        #: systems carry no injector at all (the cheapest form of the
+        #: bitwise-neutrality guarantee — every hook guards on None).  Its
+        #: "faults" substream is independent by name, so enabling faults
+        #: never perturbs the protocol's own clocks.
+        self.faults: Optional[FaultInjector] = None
+        if params.has_faults:
+            self.faults = FaultInjector(
+                plan=params.faults,
+                sim=self.sim,
+                rng=self.seeds.python("faults"),
+                n_slots=params.n_peers,
+                metrics=self.metrics,
+                tracer=tracer,
+            )
+
         capacity = params.effective_buffer_capacity
         self.peers: List[Peer] = [
             Peer(slot, capacity) for slot in range(params.n_peers)
@@ -219,6 +238,7 @@ class CollectionSystem:
             store_block=self._store_gossip_block,
             registry=self.registry,
             metrics=self.metrics,
+            faults=self.faults,
         )
         self.servers = ServerPool(
             n_servers=params.n_servers,
@@ -233,6 +253,8 @@ class CollectionSystem:
             scheduler_tries=params.scheduler_tries,
             all_peers=self.peer,
             n_slots=params.n_peers,
+            faults=self.faults,
+            tracer=tracer,
         )
 
         #: decoded original data of completed segments (RLNC+payload mode):
@@ -254,6 +276,9 @@ class CollectionSystem:
             self.registry.on_lost = self._on_segment_lost
 
         self._processes: List[PoissonProcess] = []
+        #: the server pull clocks, kept separately so an outage can pause
+        #: exactly them (memorylessness makes stop/start distribution-exact).
+        self._server_processes: List[PoissonProcess] = []
         self._build_processes()
 
         self.churn = ChurnModel(
@@ -264,6 +289,14 @@ class CollectionSystem:
             on_replace=self._replace_peer,
         )
         self.churn.start()
+
+        if self.faults is not None:
+            self.faults.bind(
+                pause_servers=self._pause_servers,
+                resume_servers=self._resume_servers,
+                kill_slots=self._burst_kill,
+            )
+            self.faults.start()
 
     # -- construction ----------------------------------------------------------
 
@@ -301,14 +334,14 @@ class CollectionSystem:
                     )
                 )
         for index in range(params.n_servers):
-            self._processes.append(
-                PoissonProcess(
-                    self.sim,
-                    self._server_rng,
-                    params.per_server_rate,
-                    lambda index=index: self.servers.pull(index, self.sim.now),
-                )
+            process = PoissonProcess(
+                self.sim,
+                self._server_rng,
+                params.per_server_rate,
+                lambda index=index: self.servers.pull(index, self.sim.now),
             )
+            self._processes.append(process)
+            self._server_processes.append(process)
 
     def _random_payloads(self, descriptor: SegmentDescriptor) -> np.ndarray:
         return self._coding_rng.integers(
@@ -385,7 +418,21 @@ class CollectionSystem:
         on arrival: the target may have filled up, satisfied the segment, or
         been replaced by churn, and the segment may have gone extinct — any
         of which wastes the transmission (``gossip_undeliverable``).
+
+        Under fault injection the transfer may also be lost outright on the
+        lossy link (``gossip_loss_rate``); the sender's bandwidth is spent
+        (the tick already counted a transfer) but nothing arrives.
         """
+        if self.faults is not None and self.faults.drop_gossip():
+            self.metrics.transfers_dropped.increment(self.metrics.in_window)
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.sim.now,
+                    KIND_DROP,
+                    peer=peer.slot,
+                    segment=block.segment.segment_id,
+                )
+            return
         latency = self.params.gossip_latency
         if latency <= 0.0:
             self._land_gossip_block(peer, block)
@@ -493,6 +540,43 @@ class CollectionSystem:
             slot, self.params.effective_buffer_capacity, old.generation + 1, now
         )
 
+    # -- fault hooks (bound into the FaultInjector) -----------------------------------
+
+    def _pause_servers(self) -> None:
+        """Outage onset: every server's pull clock stops mid-gap."""
+        for process in self._server_processes:
+            process.stop()
+
+    def _resume_servers(self, elapsed: float) -> None:
+        """Outage end: restart pull clocks, then fire a bounded catch-up.
+
+        A recovering server drains its backlog as a burst of immediate
+        pulls — one per pull it would have issued during the downtime, capped
+        at ``catchup_limit`` (a real server rate-limits its recovery).
+        """
+        catchup = 0
+        if self.faults is not None:
+            catchup = min(
+                int(elapsed * self.params.per_server_rate),
+                self.faults.plan.catchup_limit,
+            )
+        for index, process in enumerate(self._server_processes):
+            process.start()
+            for _ in range(catchup):
+                self.servers.pull(index, self.sim.now)
+
+    def _burst_kill(self, slots) -> None:
+        """Correlated churn burst: force-depart every slot in *slots* now."""
+        for slot in slots:
+            self.churn.force_depart(slot)
+        self.metrics.burst_departures.increment(
+            self.metrics.in_window, len(slots)
+        )
+        if self.tracer is not None:
+            self.tracer.record(
+                self.sim.now, KIND_BURST, killed=float(len(slots))
+            )
+
     # -- measurement lifecycle -------------------------------------------------------
 
     def run(self, warmup: float, duration: float) -> MetricsReport:
@@ -520,6 +604,19 @@ class CollectionSystem:
     def run_until(self, end_time: float) -> None:
         """Advance raw simulation time without touching metric windows."""
         self.sim.run_until(end_time)
+
+    def shutdown(self) -> None:
+        """Cancel every recurring clock (Poisson processes, churn, faults).
+
+        Call when a long-lived process runs many systems against shared
+        tooling and wants this one's pending events gone; a shut-down system
+        can still be inspected but will not advance further state.
+        """
+        for process in self._processes:
+            process.stop()
+        self.churn.drain()
+        if self.faults is not None:
+            self.faults.stop()
 
     # -- completion archive (RLNC + payload mode) --------------------------------------
 

@@ -12,6 +12,7 @@ runner                regenerates
 ``run_transient``     flash crowd: fluid (ODE) limit vs event simulation
 ``run_*_ablation``    design-choice ablations (TTL, buffer, selection,
                       scheduler, RLNC, topology)
+``run_robustness``    E-ROBUST — graceful degradation under fault injection
 ====================  =====================================================
 
 Supporting machinery: quality budgets and :class:`SeriesResult`
@@ -46,6 +47,7 @@ from repro.experiments.regression import (
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
+from repro.experiments.robustness import rlnc_pollution_audit, run_robustness
 from repro.experiments.theorem1 import run_theorem1
 from repro.experiments.transient import run_transient
 
@@ -72,6 +74,8 @@ __all__ = [
     "run_fig4",
     "run_fig5",
     "run_fig6",
+    "rlnc_pollution_audit",
+    "run_robustness",
     "run_theorem1",
     "run_transient",
 ]

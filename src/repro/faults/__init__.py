@@ -1,0 +1,13 @@
+"""Composable fault injection for collection simulations.
+
+This package models the adversarial conditions the paper's robustness
+story implies but never simulates: lossy links, block pollution, server
+outages, and correlated churn bursts.  :class:`FaultPlan` declares what
+goes wrong; :class:`FaultInjector` executes it against a running system.
+A default-constructed plan is bitwise-neutral — see ``plan.py``.
+"""
+
+from repro.faults.injector import FaultInjector, corrupt_block
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector", "corrupt_block"]

@@ -1,0 +1,232 @@
+"""Runtime fault injection: the machinery behind a :class:`FaultPlan`.
+
+The :class:`FaultInjector` is the single object the collection system
+consults on its hot paths (gossip delivery, server pulls) and the owner of
+the fault *event* clocks (outage onsets/recoveries, correlated churn
+bursts).  Design rules:
+
+- **Own randomness.**  The injector draws only from its dedicated
+  ``"faults"`` RNG substream, so enabling a fault channel never perturbs
+  the draws of injection, gossip, server, TTL or churn clocks.
+- **Bitwise neutrality at zero.**  Every query short-circuits before
+  touching the RNG when its knob is off, and ``start()`` schedules nothing
+  for a null plan — a system built with ``FaultPlan()`` replays the exact
+  event sequence of a system built with no plan at all.
+- **Hooks, not references.**  The injector manipulates the system through
+  three injected callbacks (pause servers, resume servers, kill slots), so
+  it is testable standalone and the system stays the owner of its state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.coding.block import CodedBlock
+from repro.faults.plan import FaultPlan
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.metrics import MetricsCollector
+from repro.sim.rng import exponential
+from repro.sim.trace import KIND_OUTAGE, KIND_RECOVER, Tracer
+
+
+def corrupt_block(block: CodedBlock) -> CodedBlock:
+    """Mark *block* as polluted, invalidating its coefficient header.
+
+    In RLNC mode the coefficient vector is zeroed — a detectably invalid
+    header that GF(2^8) rank arithmetic can never count as innovative, so
+    the server-side decoder rejects the block for free.  In abstract mode
+    the ``polluted`` tag alone carries the information (the tagged-block
+    approximation of the same detection).  Returns the block for chaining.
+    """
+    block.polluted = True
+    if block.coefficients is not None:
+        block.coefficients.fill(0)
+    return block
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` against a running simulation.
+
+    Args:
+        plan: The fault configuration.
+        sim: The simulation engine (fault events are scheduled on it).
+        rng: Dedicated ``random.Random`` substream for all fault draws.
+        n_slots: Number of peer slots (polluter sampling, burst sizing).
+        metrics: Collector for degradation accounting (``servers_down``).
+        tracer: Optional tracer for outage/recovery events.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sim: Simulator,
+        rng: random.Random,
+        n_slots: int,
+        metrics: MetricsCollector,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.plan = plan
+        self._sim = sim
+        self._rng = rng
+        self._n_slots = n_slots
+        self._metrics = metrics
+        self._tracer = tracer
+        self.polluters = self._sample_polluters()
+        self._down = False
+        self._down_since = 0.0
+        self._handles: List[EventHandle] = []
+        self._started = False
+        # hooks bound by the system before start()
+        self._pause_servers: Optional[Callable[[], None]] = None
+        self._resume_servers: Optional[Callable[[float], None]] = None
+        self._kill_slots: Optional[Callable[[Sequence[int]], None]] = None
+        #: lifetime fault-event tallies (diagnostics; metrics hold the
+        #: windowed counterparts)
+        self.outages_started = 0
+        self.bursts_fired = 0
+
+    def _sample_polluters(self) -> frozenset:
+        fraction = self.plan.pollution_fraction
+        if fraction <= 0.0:
+            return frozenset()
+        count = min(self._n_slots, max(1, round(fraction * self._n_slots)))
+        return frozenset(self._rng.sample(range(self._n_slots), count))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def bind(
+        self,
+        pause_servers: Callable[[], None],
+        resume_servers: Callable[[float], None],
+        kill_slots: Callable[[Sequence[int]], None],
+    ) -> None:
+        """Attach the system hooks the fault events act through."""
+        self._pause_servers = pause_servers
+        self._resume_servers = resume_servers
+        self._kill_slots = kill_slots
+
+    def start(self) -> None:
+        """Arm the outage and burst clocks (no-op channels schedule nothing)."""
+        if self._started:
+            raise RuntimeError("fault injector already started")
+        self._started = True
+        plan = self.plan
+        if plan.has_outages and self._pause_servers is None:
+            raise RuntimeError("bind() must be called before start()")
+        if plan.burst_rate > 0 and self._kill_slots is None:
+            raise RuntimeError("bind() must be called before start()")
+        for start, end in plan.outage_windows:
+            self._handles.append(
+                self._sim.schedule_at(start, self._begin_outage)
+            )
+            self._handles.append(self._sim.schedule_at(end, self._end_outage))
+        if plan.outage_rate > 0:
+            self._arm_next_outage()
+        if plan.burst_rate > 0:
+            self._arm_next_burst()
+
+    def stop(self) -> None:
+        """Cancel every pending fault event (teardown for repeated runs)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+    # -- hot-path queries (zero-knob cases must not touch the RNG) --------------
+
+    def drop_gossip(self) -> bool:
+        """Decide whether one in-flight gossip transfer is lost."""
+        p = self.plan.gossip_loss_rate
+        return p > 0.0 and self._rng.random() < p
+
+    def drop_pull(self) -> bool:
+        """Decide whether one server pull's block transfer is lost."""
+        p = self.plan.pull_loss_rate
+        return p > 0.0 and self._rng.random() < p
+
+    def is_polluter(self, slot: int) -> bool:
+        """True when the peer slot is a configured polluter."""
+        return slot in self.polluters
+
+    def pollutes(self, slot: int, holding) -> bool:
+        """True when an emission from *holding* at *slot* is corrupted.
+
+        A block is polluted if its emitter is a polluter slot, or if the
+        holding it is re-encoded from already contains polluted blocks —
+        any linear combination touching junk is junk, which is what makes
+        pollution spread and why end-to-end detection matters.
+        """
+        if not self.polluters:
+            return False
+        return slot in self.polluters or holding.polluted_count > 0
+
+    def maybe_pollute(self, slot: int, holding, block: CodedBlock) -> bool:
+        """Corrupt *block* in place when its emission is polluted.
+
+        Returns True when the block was corrupted.  Zero-knob runs take the
+        ``not self.polluters`` short-circuit inside :meth:`pollutes` and do
+        no work at all.
+        """
+        if self.pollutes(slot, holding):
+            corrupt_block(block)
+            return True
+        return False
+
+    @property
+    def servers_down(self) -> bool:
+        """True while an outage window is in effect."""
+        return self._down
+
+    # -- outage machinery --------------------------------------------------------
+
+    def _arm_next_outage(self) -> None:
+        gap = exponential(self._rng, self.plan.outage_rate)
+        self._handles.append(self._sim.schedule(gap, self._begin_outage))
+
+    def _begin_outage(self) -> None:
+        if self._down:
+            return
+        now = self._sim.now
+        self._down = True
+        self._down_since = now
+        self.outages_started += 1
+        self._metrics.servers_down.update(now, 1.0)
+        if self._tracer is not None:
+            self._tracer.record(now, KIND_OUTAGE)
+        self._pause_servers()
+        if self.plan.outage_rate > 0:
+            self._handles.append(
+                self._sim.schedule(self.plan.outage_duration, self._end_outage)
+            )
+
+    def _end_outage(self) -> None:
+        if not self._down:
+            return
+        now = self._sim.now
+        self._down = False
+        elapsed = now - self._down_since
+        self._metrics.servers_down.update(now, 0.0)
+        if self._tracer is not None:
+            self._tracer.record(now, KIND_RECOVER, downtime=elapsed)
+        self._resume_servers(elapsed)
+        if self.plan.outage_rate > 0:
+            self._arm_next_outage()
+
+    # -- correlated churn bursts ---------------------------------------------------
+
+    def burst_size(self) -> int:
+        """Slots killed per burst event (at least one, at most all)."""
+        return min(
+            self._n_slots,
+            max(1, round(self.plan.burst_fraction * self._n_slots)),
+        )
+
+    def _arm_next_burst(self) -> None:
+        gap = exponential(self._rng, self.plan.burst_rate)
+        self._handles.append(self._sim.schedule(gap, self._fire_burst))
+
+    def _fire_burst(self) -> None:
+        slots = self._rng.sample(range(self._n_slots), self.burst_size())
+        self.bursts_fired += 1
+        self._kill_slots(slots)
+        self._arm_next_burst()

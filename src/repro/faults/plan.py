@@ -1,0 +1,186 @@
+"""Declarative fault configuration: what goes wrong, how often, how badly.
+
+A :class:`FaultPlan` is a frozen bundle of adversarial-condition knobs that
+the collection system threads into its hot paths through a
+:class:`repro.faults.injector.FaultInjector`.  Four orthogonal fault
+channels are modelled, each chosen because related measurement work shows
+it dominates real deployments (see docs/PROTOCOL.md, "Fault model &
+degradation"):
+
+- **lossy links** — every gossip transfer and every server pull is dropped
+  i.i.d. with a per-channel probability, the classic unreliable-link model
+  gossip protocols are built against;
+- **block pollution** — a fraction of peer slots emit corrupted coded
+  blocks (invalid coefficient headers); servers detect and discard them,
+  peers cannot, so junk occupies buffer space and wastes transmissions;
+- **server outages** — windows of downtime during which the pull clock
+  pauses entirely, either scheduled deterministically or drawn from a
+  renewal process, with a bounded catch-up burst on recovery;
+- **correlated churn bursts** — Poisson-timed events that kill a random
+  fraction of peer slots *simultaneously*: flash departures, the dual of
+  the flash crowds the paper's buffering analysis absorbs.
+
+All knobs default to "off"; a default-constructed plan is *null* and the
+injector built from it is bitwise-neutral — it draws no randomness and
+schedules no events, so a run with a null plan is event-for-event
+identical to a run with no plan at all (the neutrality regression test
+asserts exactly this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.validation import (
+    require_nonnegative,
+    require_nonnegative_int,
+    require_probability,
+    require_rate,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Complete fault configuration for one collection session."""
+
+    #: i.i.d. probability that an in-flight gossip transfer is lost.
+    gossip_loss_rate: float = 0.0
+    #: i.i.d. probability that a server pull's block transfer is lost.
+    pull_loss_rate: float = 0.0
+    #: fraction of peer slots that emit corrupted (polluted) coded blocks.
+    pollution_fraction: float = 0.0
+    #: extra pull attempts a server may spend after discarding a polluted
+    #: block within the same pull trial (the "discard + re-pull" response).
+    pollution_repull_budget: int = 1
+    #: deterministic downtime windows as (start, end) absolute-time pairs;
+    #: mutually exclusive with the renewal-process knobs below.
+    outage_windows: Tuple[Tuple[float, float], ...] = ()
+    #: renewal process: rate of outage onsets while the servers are up.
+    outage_rate: float = 0.0
+    #: renewal process: fixed downtime length of each outage.
+    outage_duration: float = 0.0
+    #: cap on the immediate catch-up pulls *per server* fired at recovery
+    #: (bounds the burst a real recovering server would rate-limit).
+    catchup_limit: int = 8
+    #: Poisson rate of correlated mass-departure events.
+    burst_rate: float = 0.0
+    #: fraction of peer slots killed simultaneously by each burst event.
+    burst_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_probability("gossip_loss_rate", self.gossip_loss_rate)
+        require_probability("pull_loss_rate", self.pull_loss_rate)
+        require_probability("pollution_fraction", self.pollution_fraction)
+        require_probability("burst_fraction", self.burst_fraction)
+        require_nonnegative_int(
+            "pollution_repull_budget", self.pollution_repull_budget
+        )
+        require_nonnegative_int("catchup_limit", self.catchup_limit)
+        require_nonnegative("outage_rate", self.outage_rate)
+        require_nonnegative("outage_duration", self.outage_duration)
+        require_nonnegative("burst_rate", self.burst_rate)
+        if self.outage_rate > 0 and self.outage_duration <= 0:
+            raise ValueError(
+                "renewal outages need outage_duration > 0 when outage_rate > 0"
+            )
+        if self.burst_rate > 0 and self.burst_fraction <= 0:
+            raise ValueError(
+                "churn bursts need burst_fraction > 0 when burst_rate > 0"
+            )
+        windows = tuple(
+            (float(start), float(end)) for start, end in self.outage_windows
+        )
+        object.__setattr__(self, "outage_windows", windows)
+        previous_end = 0.0
+        for start, end in windows:
+            if not (math.isfinite(start) and math.isfinite(end)):
+                raise ValueError(f"outage window ({start}, {end}) must be finite")
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"outage window ({start}, {end}) needs 0 <= start < end"
+                )
+            if start < previous_end:
+                raise ValueError(
+                    "outage windows must be sorted and non-overlapping"
+                )
+            previous_end = end
+        if windows and self.outage_rate > 0:
+            raise ValueError(
+                "choose deterministic outage_windows or the renewal process "
+                "(outage_rate/outage_duration), not both"
+            )
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """True when every fault channel is disabled."""
+        return (
+            self.gossip_loss_rate == 0.0
+            and self.pull_loss_rate == 0.0
+            and self.pollution_fraction == 0.0
+            and not self.outage_windows
+            and self.outage_rate == 0.0
+            and self.burst_rate == 0.0
+        )
+
+    @property
+    def has_outages(self) -> bool:
+        """True when any downtime is configured."""
+        return bool(self.outage_windows) or self.outage_rate > 0.0
+
+    @property
+    def outage_duty_cycle(self) -> float:
+        """Long-run fraction of time the servers are down (renewal mode).
+
+        For deterministic windows the notion depends on the horizon, so this
+        returns NaN; use the windows directly.
+        """
+        if self.outage_windows:
+            return math.nan
+        if self.outage_rate <= 0.0:
+            return 0.0
+        mean_up = 1.0 / self.outage_rate
+        return self.outage_duration / (self.outage_duration + mean_up)
+
+    @staticmethod
+    def renewal_outages(
+        duty_cycle: float, duration: float, **changes
+    ) -> "FaultPlan":
+        """Build a renewal-outage plan targeting a long-run *duty_cycle*.
+
+        ``duty_cycle`` is the fraction of time down; ``duration`` the fixed
+        length of each outage.  Extra keyword knobs pass through.
+        """
+        require_probability("duty_cycle", duty_cycle)
+        if duty_cycle >= 1.0:
+            raise ValueError("duty_cycle must be < 1 (servers must come back)")
+        if duty_cycle == 0.0:
+            return FaultPlan(**changes)
+        require_rate("duration", duration)
+        mean_up = duration * (1.0 - duty_cycle) / duty_cycle
+        return FaultPlan(
+            outage_rate=1.0 / mean_up, outage_duration=duration, **changes
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the active fault channels."""
+        parts = []
+        if self.gossip_loss_rate or self.pull_loss_rate:
+            parts.append(
+                f"loss(gossip={self.gossip_loss_rate:g},"
+                f"pull={self.pull_loss_rate:g})"
+            )
+        if self.pollution_fraction:
+            parts.append(f"pollution={self.pollution_fraction:g}")
+        if self.outage_windows:
+            parts.append(f"outages={len(self.outage_windows)}w")
+        elif self.outage_rate:
+            parts.append(f"outage_duty={self.outage_duty_cycle:.2f}")
+        if self.burst_rate:
+            parts.append(
+                f"bursts(rate={self.burst_rate:g},kill={self.burst_fraction:g})"
+            )
+        return " ".join(parts) if parts else "no faults"

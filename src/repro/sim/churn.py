@@ -85,10 +85,40 @@ class ChurnModel:
 
     def stop(self) -> None:
         """Cancel all pending departures (used at teardown)."""
+        self.drain()
+
+    def drain(self) -> int:
+        """Cancel every outstanding lifetime handle; returns how many.
+
+        Idempotent.  Repeated experiment runs in one process must drain the
+        previous run's clocks so dead departure events do not accumulate in
+        (and leak peer state into) a shared simulator's heap.
+        """
+        drained = 0
         for slot, handle in enumerate(self._handles):
             if handle is not None:
                 handle.cancel()
                 self._handles[slot] = None
+                drained += 1
+        return drained
+
+    def force_depart(self, slot: int) -> None:
+        """Immediately depart the occupant of *slot* (correlated bursts).
+
+        Works whether or not exponential churn is enabled: the slot's pending
+        lifetime clock (if any) is cancelled, the replacement callback runs
+        now, and a fresh lifetime is armed only when churn clocks are active.
+        """
+        if not 0 <= slot < self._n_slots:
+            raise ValueError(f"slot must be in [0, {self._n_slots}), got {slot}")
+        handle = self._handles[slot]
+        if handle is not None:
+            handle.cancel()
+            self._handles[slot] = None
+        self.departures += 1
+        self._on_replace(slot)
+        if self._started and self.enabled:
+            self._arm(slot)
 
     def _arm(self, slot: int) -> None:
         delay = self.sample_lifetime()

@@ -126,6 +126,11 @@ class MetricsReport:
     saved_blocks_per_peer: float
     decodable_segments_per_peer: float
     segments_lost: int
+    # fault-injection degradation accounting (all zero on fault-free runs)
+    transfers_dropped: int
+    blocks_rejected_polluted: int
+    burst_departures: int
+    outage_time: float
 
     def as_dict(self) -> Dict[str, float]:
         """Flat numeric dict (None delays become NaN) for aggregation."""
@@ -166,6 +171,9 @@ class MetricsCollector:
         self.empty_peers = WindowedAverage(float(n_peers), now)
         self.saved_segments = WindowedAverage(0.0, now)
         self.decodable_segments = WindowedAverage(0.0, now)
+        #: 0/1 indicator of a server outage in progress (fault injection);
+        #: integrating it over the window yields the exact outage time.
+        self.servers_down = WindowedAverage(0.0, now)
 
         # counters
         self.pulls = WindowedCounter()
@@ -183,6 +191,10 @@ class MetricsCollector:
         self.blocks_lost_to_churn = WindowedCounter()
         self.departures = WindowedCounter()
         self.segments_lost = WindowedCounter()
+        # fault-injection degradation counters
+        self.transfers_dropped = WindowedCounter()
+        self.blocks_rejected_polluted = WindowedCounter()
+        self.burst_departures = WindowedCounter()
 
         self._delay_samples: List[float] = []
         self._delivered_original_blocks = 0
@@ -211,6 +223,7 @@ class MetricsCollector:
             self.empty_peers,
             self.saved_segments,
             self.decodable_segments,
+            self.servers_down,
         ]
 
     def _counters(self) -> List[WindowedCounter]:
@@ -230,6 +243,9 @@ class MetricsCollector:
             self.blocks_lost_to_churn,
             self.departures,
             self.segments_lost,
+            self.transfers_dropped,
+            self.blocks_rejected_polluted,
+            self.burst_departures,
         ]
 
     # -- event hooks (called by the system) --------------------------------
@@ -315,6 +331,10 @@ class MetricsCollector:
             / n,
             decodable_segments_per_peer=self.decodable_segments.average(now) / n,
             segments_lost=self.segments_lost.window,
+            transfers_dropped=self.transfers_dropped.window,
+            blocks_rejected_polluted=self.blocks_rejected_polluted.window,
+            burst_departures=self.burst_departures.window,
+            outage_time=self.servers_down.average(now) * window,
         )
 
     #: Set by the system so storage overhead (rho - lambda/gamma) can be

@@ -31,7 +31,14 @@ KIND_DEPART = "depart"
 KIND_COLLECT = "collect"
 KIND_COMPLETE = "complete"
 KIND_LOST = "lost"
-ALL_KINDS = frozenset(
+#: Fault-channel event kinds (emitted only when fault injection is active).
+KIND_DROP = "drop"
+KIND_POLLUTED = "polluted"
+KIND_OUTAGE = "outage"
+KIND_RECOVER = "recover"
+KIND_BURST = "burst"
+#: Kinds every fault-free run can emit.
+PROTOCOL_KINDS = frozenset(
     {
         KIND_INJECT,
         KIND_GOSSIP,
@@ -42,6 +49,17 @@ ALL_KINDS = frozenset(
         KIND_LOST,
     }
 )
+#: Kinds only a fault-injected run can emit.
+FAULT_KINDS = frozenset(
+    {
+        KIND_DROP,
+        KIND_POLLUTED,
+        KIND_OUTAGE,
+        KIND_RECOVER,
+        KIND_BURST,
+    }
+)
+ALL_KINDS = PROTOCOL_KINDS | FAULT_KINDS
 
 
 @dataclass(frozen=True)

@@ -74,6 +74,55 @@ class TestChurnModel:
         sim.run_until(50.0)
         assert not replaced
 
+    def test_drain_reports_count_and_is_idempotent(self):
+        sim, model, replaced = make_model(1.0, n_slots=5)
+        model.start()
+        assert model.drain() == 5
+        assert model.drain() == 0  # second drain finds nothing outstanding
+        sim.run_until(50.0)
+        assert not replaced
+        # no dead handles: every cancelled entry was lazily collected
+        assert sim.pending == 0
+
+    def test_drain_mid_run_stops_future_departures(self):
+        sim, model, replaced = make_model(0.5, n_slots=8)
+        model.start()
+        sim.run_until(5.0)
+        before = model.departures
+        assert before > 0
+        assert model.drain() == 8  # every slot always has one armed clock
+        sim.run_until(50.0)
+        assert model.departures == before
+
+    def test_force_depart_with_churn_enabled(self):
+        sim, model, replaced = make_model(1000.0, n_slots=4)
+        model.start()
+        sim.run_until(1.0)
+        model.force_depart(2)
+        assert replaced == [2]
+        assert model.departures == 1
+        # the replacement got a fresh lifetime clock: all 4 slots still armed
+        assert model.drain() == 4
+
+    def test_force_depart_with_churn_disabled(self):
+        sim, model, replaced = make_model(None, n_slots=4)
+        model.start()
+        model.force_depart(1)
+        model.force_depart(1)
+        assert replaced == [1, 1]
+        assert model.departures == 2
+        sim.run_until(50.0)
+        # no lifetime clocks were armed for the replacements
+        assert model.drain() == 0
+
+    def test_force_depart_bad_slot_raises(self):
+        _, model, _ = make_model(1.0, n_slots=3)
+        model.start()
+        with pytest.raises(ValueError):
+            model.force_depart(3)
+        with pytest.raises(ValueError):
+            model.force_depart(-1)
+
     def test_lifetimes_exponential(self):
         _, model, _ = make_model(3.0, seed=9)
         samples = [model.sample_lifetime() for _ in range(4000)]

@@ -104,6 +104,78 @@ class TestSimulator:
         sim.run_until(2.0)
         assert sim.events_processed == 5
 
+    def test_zero_delay_fires_in_insertion_order(self):
+        """delay=0.0 events run at the current time, FIFO among themselves."""
+        sim = Simulator()
+        sim.run_until(3.0)  # now > 0, so delay-0 means "at t=3.0"
+        order = []
+        sim.schedule(0.0, lambda: order.append("a"))
+        sim.schedule(0.0, lambda: order.append("b"))
+        sim.schedule(0.0, lambda: order.append("c"))
+        sim.run_until(3.0)
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_schedule_at_now_fires_in_insertion_order(self):
+        """schedule_at(now) is legal (not 'the past') and stays FIFO, also
+        when interleaved with zero-delay scheduling and pre-existing ties."""
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("early"))
+        sim.run_until(1.0)
+        sim.schedule_at(2.0, lambda: order.append("x"))
+        sim.schedule_at(1.0, lambda: order.append("at-now"))
+        sim.schedule(0.0, lambda: order.append("zero-delay"))
+        sim.run_until(5.0)
+        assert order == ["at-now", "zero-delay", "early", "x"]
+
+    def test_zero_delay_from_handler_runs_same_timestamp(self):
+        """A handler scheduling at delay 0 runs within the same run_until
+        call at the same clock reading — the outage begin/end chain relies
+        on this."""
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+        sim.run_until(1.0)
+        assert times == [1.0]
+
+    def test_cancelled_handle_releases_action(self):
+        """cancel() must drop the action reference immediately (the lazy-
+        cancellation heap entry must not keep closures alive)."""
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.action is not None
+        handle.cancel()
+        assert handle.cancelled
+        assert handle.action is None
+        # cancelling twice is harmless
+        handle.cancel()
+        assert handle.action is None
+
+    def test_executed_handle_releases_action(self):
+        """After firing, the engine clears the handle's action too, so kept
+        handles (e.g. in a fault injector's bookkeeping) never leak state."""
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert handle.action is None
+
+    def test_cancelled_events_drain_from_heap(self):
+        """Lazily-cancelled entries are popped and skipped, not executed,
+        and the heap empties out."""
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(1.0, lambda i=i: fired.append(i)) for i in range(10)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending == 10
+        executed = sim.run_until(2.0)
+        assert executed == 5
+        assert fired == [1, 3, 5, 7, 9]
+        assert sim.pending == 0
+
 
 class TestPoissonProcess:
     def test_rate_is_respected(self):

@@ -63,6 +63,17 @@ class TestExamplesRun:
         assert "recommended segment size" in out
         assert "simulation spot check" in out
 
+    def test_fault_drill(self, capsys):
+        module = load_example("fault_drill")
+        module.PARAMS = shrink(module.PARAMS)
+        module.WARMUP = 2.0
+        module.DURATION = 8.0
+        module.main()
+        out = capsys.readouterr().out
+        assert "transfers dropped" in out
+        assert "server downtime" in out
+        assert "consistency check: OK" in out
+
     def test_trace_segment_life(self, capsys):
         module = load_example("trace_segment_life")
         module.PARAMS = shrink(module.PARAMS)

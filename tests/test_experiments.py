@@ -166,6 +166,17 @@ class TestRunners:
         }
         assert any("dropped" in note for note in result.notes)
 
+    def test_robustness_runs(self):
+        from repro.experiments.robustness import CHANNELS, run_robustness
+
+        result = run_robustness(budget=TINY, severities=(0.0, 0.3))
+        assert result.x_values == [0.0, 0.3]
+        for channel in CHANNELS:
+            delivery = result.series[f"delivery ratio: {channel}"]
+            assert len(delivery) == 2
+            assert delivery[0] == 1.0  # severity 0 is the shared baseline
+        assert any("0 corrupted decodes" in note for note in result.notes)
+
 
 class TestCli:
     def test_unknown_experiment_rejected(self):

@@ -6,9 +6,11 @@ from repro.core.params import Parameters
 from repro.core.system import CollectionSystem
 from repro.sim.trace import (
     ALL_KINDS,
+    FAULT_KINDS,
     KIND_COMPLETE,
     KIND_GOSSIP,
     KIND_INJECT,
+    PROTOCOL_KINDS,
     TraceEvent,
     Tracer,
 )
@@ -95,10 +97,15 @@ class TestInstrumentedSystem:
         system = traced_run(None)
         assert system.tracer is None
 
-    def test_all_kind_coverage_under_churn(self):
+    def test_all_protocol_kind_coverage_under_churn(self):
         tracer = Tracer()
         traced_run(tracer, mean_lifetime=3.0, duration=10.0)
-        assert set(tracer.counts) == set(ALL_KINDS)
+        # A fault-free run exercises every protocol kind and no fault kind.
+        assert set(tracer.counts) == set(PROTOCOL_KINDS)
+
+    def test_kind_sets_partition(self):
+        assert PROTOCOL_KINDS | FAULT_KINDS == ALL_KINDS
+        assert not PROTOCOL_KINDS & FAULT_KINDS
 
     def test_inject_counts_match_metrics(self):
         tracer = Tracer()
