@@ -6,6 +6,11 @@ terminal and optionally writes the series to JSON::
     repro fig3 --quality fast
     repro fig5 --quality full --json results/fig5.json
     repro all --quality fast
+
+The static determinism checker is exposed as a subcommand (see
+``docs/LINTING.md``)::
+
+    repro lint --strict src/repro
 """
 
 from __future__ import annotations
@@ -65,7 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(RUNNERS) + ["all"],
-        help="which figure/ablation to regenerate ('all' runs everything)",
+        help=(
+            "which figure/ablation to regenerate ('all' runs everything); "
+            "'repro lint' runs the static determinism checker"
+        ),
     )
     parser.add_argument(
         "--quality",
@@ -93,6 +101,12 @@ def run_experiment(name: str, quality: str) -> SeriesResult:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.lint.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -15,11 +15,12 @@ without global coordination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.coding import gf256
+from repro.coding.gf256 import Vector
 
 
 @dataclass(frozen=True)
@@ -68,8 +69,8 @@ class CodedBlock:
     """
 
     segment: SegmentDescriptor
-    coefficients: Optional[np.ndarray] = None
-    payload: Optional[np.ndarray] = None
+    coefficients: Optional[Vector] = None
+    payload: Optional[Vector] = None
     created_at: float = 0.0
     #: Liveness flag flipped by TTL expiry and churn; lets stale deletion
     #: events detect that their target is already gone.
@@ -107,9 +108,9 @@ class CodedBlock:
 
 def make_source_blocks(
     segment: SegmentDescriptor,
-    payloads: Optional[np.ndarray] = None,
+    payloads: Optional[Vector] = None,
     created_at: Optional[float] = None,
-) -> list:
+) -> List[CodedBlock]:
     """Create the ``s`` systematic (identity-coded) blocks of a new segment.
 
     When the source injects a segment it holds the original blocks
@@ -123,7 +124,7 @@ def make_source_blocks(
                 f"expected {segment.size} payload rows, got {payloads.shape[0]}"
             )
     when = segment.injected_at if created_at is None else created_at
-    blocks = []
+    blocks: List[CodedBlock] = []
     for index in range(segment.size):
         unit = np.zeros(segment.size, dtype=np.uint8)
         unit[index] = 1
@@ -142,7 +143,7 @@ def make_abstract_blocks(
     segment: SegmentDescriptor,
     count: Optional[int] = None,
     created_at: Optional[float] = None,
-) -> list:
+) -> List[CodedBlock]:
     """Create *count* coefficient-free blocks (edges of the bipartite graph)."""
     n = segment.size if count is None else count
     if n < 0:

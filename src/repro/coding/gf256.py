@@ -18,9 +18,15 @@ from any reference table.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
+
+#: A GF(256) coefficient/payload vector: a ``uint8`` numpy array.
+Vector = npt.NDArray[np.uint8]
+#: Anything :func:`as_vector` accepts.
+VectorLike = Union[Iterable[int], "npt.NDArray[np.generic]"]
 
 #: Field order and characteristic-polynomial constants.
 ORDER = 256
@@ -30,7 +36,7 @@ MODULUS = 0x11B
 GENERATOR = 0x03
 
 
-def _build_tables() -> tuple:
+def _build_tables() -> Tuple[npt.NDArray[np.int32], npt.NDArray[np.int32]]:
     """Construct exp/log tables by iterating ``g^k`` with carry-less reduction."""
     exp = np.zeros(512, dtype=np.int32)  # doubled to skip the mod-255 in mul
     log = np.zeros(256, dtype=np.int32)
@@ -124,22 +130,25 @@ def power(a: int, exponent: int) -> int:
 # Vectorized operations on uint8 numpy arrays.
 # ---------------------------------------------------------------------------
 
-def as_vector(values: Iterable[int]) -> np.ndarray:
+def as_vector(values: VectorLike) -> Vector:
     """Coerce *values* into a ``uint8`` coefficient vector, validating range."""
     array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
     if array.dtype == np.uint8:
-        return array.copy()
+        copied: Vector = array.copy()
+        return copied
     if array.size and (array.min() < 0 or array.max() > 255):
         raise ValueError("GF(256) vector entries must lie in [0, 255]")
-    return array.astype(np.uint8)
+    coerced: Vector = array.astype(np.uint8)
+    return coerced
 
 
-def vec_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def vec_add(a: Vector, b: Vector) -> Vector:
     """Element-wise field addition of two uint8 arrays."""
-    return np.bitwise_xor(a, b)
+    result: Vector = np.bitwise_xor(a, b)
+    return result
 
 
-def vec_scale(vector: np.ndarray, scalar: int) -> np.ndarray:
+def vec_scale(vector: Vector, scalar: int) -> Vector:
     """Multiply every entry of *vector* by the field scalar *scalar*."""
     scalar = validate_symbol(scalar)
     if scalar == 0:
@@ -147,12 +156,12 @@ def vec_scale(vector: np.ndarray, scalar: int) -> np.ndarray:
     if scalar == 1:
         return vector.copy()
     logs = LOG_TABLE[vector.astype(np.int32)] + LOG_TABLE[scalar]
-    result = EXP_TABLE[logs].astype(np.uint8)
+    result: Vector = EXP_TABLE[logs].astype(np.uint8)
     result[vector == 0] = 0
     return result
 
 
-def vec_addmul(accumulator: np.ndarray, vector: np.ndarray, scalar: int) -> None:
+def vec_addmul(accumulator: Vector, vector: Vector, scalar: int) -> None:
     """In-place ``accumulator ^= scalar * vector`` (the axpy of GF(256))."""
     if accumulator.shape != vector.shape:
         raise ValueError(
@@ -161,17 +170,17 @@ def vec_addmul(accumulator: np.ndarray, vector: np.ndarray, scalar: int) -> None
     np.bitwise_xor(accumulator, vec_scale(vector, scalar), out=accumulator)
 
 
-def vec_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def vec_mul(a: Vector, b: Vector) -> Vector:
     """Element-wise field multiplication of two uint8 arrays."""
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
     logs = LOG_TABLE[a.astype(np.int32)] + LOG_TABLE[b.astype(np.int32)]
-    result = EXP_TABLE[logs].astype(np.uint8)
+    result: Vector = EXP_TABLE[logs].astype(np.uint8)
     result[(a == 0) | (b == 0)] = 0
     return result
 
 
-def mat_vec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+def mat_vec(matrix: Vector, vector: Vector) -> Vector:
     """GF(256) matrix-vector product (rows of *matrix* dot *vector*)."""
     matrix = np.atleast_2d(matrix)
     if matrix.shape[1] != vector.shape[0]:
@@ -186,7 +195,7 @@ def mat_vec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
     return out
 
 
-def mat_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def mat_mul(a: Vector, b: Vector) -> Vector:
     """GF(256) matrix-matrix product."""
     a = np.atleast_2d(a)
     b = np.atleast_2d(b)

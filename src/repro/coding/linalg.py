@@ -22,16 +22,18 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.coding import gf256
+from repro.coding.gf256 import Vector, VectorLike
 
 
-def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+def _as_matrix(matrix: VectorLike) -> Vector:
     array = np.atleast_2d(np.asarray(matrix))
     if array.size and (array.min() < 0 or array.max() > 255):
         raise ValueError("GF(256) matrix entries must lie in [0, 255]")
-    return array.astype(np.uint8)
+    coerced: Vector = array.astype(np.uint8)
+    return coerced
 
 
-def rref(matrix: np.ndarray) -> Tuple[np.ndarray, List[int]]:
+def rref(matrix: VectorLike) -> Tuple[Vector, List[int]]:
     """Reduced row-echelon form of *matrix* over GF(256).
 
     Returns ``(reduced, pivot_columns)``.  The input is not modified.
@@ -63,19 +65,19 @@ def rref(matrix: np.ndarray) -> Tuple[np.ndarray, List[int]]:
     return work, pivot_cols
 
 
-def rank(matrix: np.ndarray) -> int:
+def rank(matrix: VectorLike) -> int:
     """Rank of *matrix* over GF(256)."""
     _, pivots = rref(matrix)
     return len(pivots)
 
 
-def is_invertible(matrix: np.ndarray) -> bool:
+def is_invertible(matrix: VectorLike) -> bool:
     """True iff *matrix* is square and full-rank over GF(256)."""
     array = _as_matrix(matrix)
     return array.shape[0] == array.shape[1] and rank(array) == array.shape[0]
 
 
-def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+def solve(matrix: VectorLike, rhs: VectorLike) -> Vector:
     """Solve ``matrix @ x = rhs`` over GF(256) for square full-rank systems.
 
     *rhs* may be a vector or a matrix of stacked right-hand sides.  Raises
@@ -84,7 +86,7 @@ def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     a = _as_matrix(matrix)
     if a.shape[0] != a.shape[1]:
         raise ValueError(f"solve requires a square matrix, got {a.shape}")
-    b = np.asarray(rhs).astype(np.uint8)
+    b: Vector = np.asarray(rhs).astype(np.uint8)
     rhs_was_vector = b.ndim == 1
     if rhs_was_vector:
         b = b.reshape(-1, 1)
@@ -98,7 +100,7 @@ def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     return solution[:, 0] if rhs_was_vector else solution
 
 
-def invert(matrix: np.ndarray) -> np.ndarray:
+def invert(matrix: VectorLike) -> Vector:
     """Matrix inverse over GF(256); raises :class:`ValueError` if singular."""
     a = _as_matrix(matrix)
     if a.shape[0] != a.shape[1]:
@@ -126,8 +128,8 @@ class IncrementalDecoder:
         self.size = size
         self.payload_length = payload_length
         # Row-echelon coefficient rows and the matching (reduced) payloads.
-        self._rows: np.ndarray = np.zeros((0, size), dtype=np.uint8)
-        self._payloads: List[Optional[np.ndarray]] = []
+        self._rows: Vector = np.zeros((0, size), dtype=np.uint8)
+        self._payloads: List[Optional[Vector]] = []
         # pivot column of each stored row, kept sorted by construction
         self._pivot_cols: List[int] = []
 
@@ -145,15 +147,15 @@ class IncrementalDecoder:
         """True while additional innovative blocks are still useful."""
         return not self.is_complete
 
-    def would_be_innovative(self, coefficients: np.ndarray) -> bool:
+    def would_be_innovative(self, coefficients: Vector) -> bool:
         """Check innovation without mutating the decoder state."""
         reduced, _ = self._reduce(coefficients, None)
         return bool(reduced.any())
 
     def add(
         self,
-        coefficients: np.ndarray,
-        payload: Optional[np.ndarray] = None,
+        coefficients: VectorLike,
+        payload: Optional[VectorLike] = None,
     ) -> bool:
         """Offer one coded block; return ``True`` iff it was innovative.
 
@@ -166,7 +168,7 @@ class IncrementalDecoder:
             raise ValueError(
                 f"coefficient vector has shape {vector.shape}, expected ({self.size},)"
             )
-        data: Optional[np.ndarray] = None
+        data: Optional[Vector] = None
         if payload is not None:
             data = gf256.as_vector(payload)
             if self.payload_length is None:
@@ -181,7 +183,7 @@ class IncrementalDecoder:
         self._insert(reduced_vec, reduced_payload)
         return True
 
-    def decode(self) -> np.ndarray:
+    def decode(self) -> Vector:
         """Recover the original payload matrix (one row per original block).
 
         Raises :class:`ValueError` if the segment is incomplete or payloads
@@ -191,15 +193,16 @@ class IncrementalDecoder:
             raise ValueError(
                 f"segment not decodable: rank {self.rank} < size {self.size}"
             )
-        if any(p is None for p in self._payloads):
+        payloads = [p for p in self._payloads if p is not None]
+        if len(payloads) != len(self._payloads):
             raise ValueError("cannot decode: coded blocks carried no payloads")
         # Rows are maintained in fully reduced (Gauss-Jordan) form, so after
         # sorting by pivot column the coefficient matrix is the identity and
         # the payloads *are* the original blocks.
         order = np.argsort(self._pivot_cols)
-        return np.stack([self._payloads[i] for i in order])
+        return np.stack([payloads[i] for i in order])
 
-    def coefficient_matrix(self) -> np.ndarray:
+    def coefficient_matrix(self) -> Vector:
         """Copy of the current reduced coefficient rows (for inspection)."""
         return self._rows.copy()
 
@@ -207,9 +210,9 @@ class IncrementalDecoder:
 
     def _reduce(
         self,
-        vector: np.ndarray,
-        payload: Optional[np.ndarray],
-    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        vector: Vector,
+        payload: Optional[Vector],
+    ) -> Tuple[Vector, Optional[Vector]]:
         """Eliminate *vector* (and its payload) against the stored rows."""
         vec = vector.copy()
         data = payload.copy() if payload is not None else None
@@ -221,7 +224,7 @@ class IncrementalDecoder:
                     gf256.vec_addmul(data, self._payloads[row_idx], factor)
         return vec, data
 
-    def _insert(self, vector: np.ndarray, payload: Optional[np.ndarray]) -> None:
+    def _insert(self, vector: Vector, payload: Optional[Vector]) -> None:
         """Normalize the reduced *vector*, install it, and back-eliminate."""
         pivot_col = int(np.nonzero(vector)[0][0])
         pivot_value = int(vector[pivot_col])

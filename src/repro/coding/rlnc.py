@@ -19,16 +19,21 @@ Randomness is injected explicitly (``numpy.random.Generator`` or
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import random
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.coding import gf256
 from repro.coding.block import CodedBlock, SegmentDescriptor
+from repro.coding.gf256 import Vector
 from repro.coding.linalg import IncrementalDecoder
 
+#: Either RNG flavour the codec accepts; draws are routed by isinstance.
+RngLike = Union[np.random.Generator, random.Random]
 
-def _draw_coefficients(rng, count: int) -> np.ndarray:
+
+def _draw_coefficients(rng: RngLike, count: int) -> Vector:
     """Draw *count* uniform GF(256) coefficients, rejecting the all-zero draw.
 
     An all-zero combination would emit the zero block, which carries no
@@ -38,7 +43,8 @@ def _draw_coefficients(rng, count: int) -> np.ndarray:
     if count < 1:
         raise ValueError(f"cannot draw coefficients for {count} blocks")
     while True:
-        if hasattr(rng, "integers"):
+        coeffs: Vector
+        if isinstance(rng, np.random.Generator):
             coeffs = rng.integers(0, 256, size=count, dtype=np.uint8)
         else:
             coeffs = np.array(
@@ -48,7 +54,9 @@ def _draw_coefficients(rng, count: int) -> np.ndarray:
             return coeffs
 
 
-def recode(blocks: Sequence[CodedBlock], rng, created_at: float = 0.0) -> CodedBlock:
+def recode(
+    blocks: Sequence[CodedBlock], rng: RngLike, created_at: float = 0.0
+) -> CodedBlock:
     """Produce one new coded block from the holder's *blocks* of a segment.
 
     All inputs must be live coded blocks of the same segment.  The output's
@@ -68,12 +76,17 @@ def recode(blocks: Sequence[CodedBlock], rng, created_at: float = 0.0) -> CodedB
     coefficients = np.zeros(segment.size, dtype=np.uint8)
     for scalar, block in zip(local, blocks):
         if scalar:
+            assert block.coefficients is not None  # guarded by is_coded above
             gf256.vec_addmul(coefficients, block.coefficients, int(scalar))
-    payload: Optional[np.ndarray] = None
-    if all(block.payload is not None for block in blocks):
-        payload = np.zeros_like(blocks[0].payload)
+    payload: Optional[Vector] = None
+    first_payload = blocks[0].payload
+    if first_payload is not None and all(
+        block.payload is not None for block in blocks
+    ):
+        payload = np.zeros_like(first_payload)
         for scalar, block in zip(local, blocks):
             if scalar:
+                assert block.payload is not None  # guarded by all() above
                 gf256.vec_addmul(payload, block.payload, int(scalar))
     return CodedBlock(
         segment=segment,
@@ -85,8 +98,8 @@ def recode(blocks: Sequence[CodedBlock], rng, created_at: float = 0.0) -> CodedB
 
 def encode_from_source(
     segment: SegmentDescriptor,
-    payloads: np.ndarray,
-    rng,
+    payloads: Vector,
+    rng: RngLike,
     created_at: float = 0.0,
 ) -> CodedBlock:
     """Encode one coded block directly from a segment's original payloads."""
@@ -143,6 +156,7 @@ class SegmentDecoder:
             )
         if not block.is_coded:
             raise ValueError("SegmentDecoder requires coded blocks")
+        assert block.coefficients is not None  # is_coded guarantees this
         self.offered += 1
         innovative = self._decoder.add(block.coefficients, block.payload)
         if not innovative:
@@ -151,7 +165,7 @@ class SegmentDecoder:
             self.completed_at = now
         return innovative
 
-    def decode(self) -> np.ndarray:
+    def decode(self) -> Vector:
         """Reconstruct the original payload rows; see IncrementalDecoder."""
         return self._decoder.decode()
 
@@ -162,21 +176,20 @@ def rank_of_blocks(blocks: Sequence[CodedBlock]) -> int:
     Used by peers in full-RLNC mode to answer "how many linearly independent
     blocks of this segment do I hold?" after arbitrary TTL deletions.
     """
-    coded = [b for b in blocks if b.is_coded]
-    if len(coded) != len(blocks):
+    vectors = [b.coefficients for b in blocks if b.coefficients is not None]
+    if len(vectors) != len(blocks):
         raise ValueError("rank_of_blocks requires coded blocks")
-    if not coded:
+    if not vectors:
         return 0
     from repro.coding.linalg import rank as matrix_rank
 
-    matrix = np.stack([b.coefficients for b in coded])
-    return matrix_rank(matrix)
+    return matrix_rank(np.stack(vectors))
 
 
 def innovation_probability(
     holder_blocks: List[CodedBlock],
-    receiver_matrix: np.ndarray,
-    rng,
+    receiver_matrix: Vector,
+    rng: RngLike,
     trials: int = 200,
 ) -> float:
     """Monte-Carlo estimate that a recoded block is innovative to a receiver.
@@ -195,6 +208,7 @@ def innovation_probability(
     hits = 0
     for _ in range(trials):
         candidate = recode(holder_blocks, rng)
+        assert candidate.coefficients is not None  # recode always sets them
         if base.would_be_innovative(candidate.coefficients):
             hits += 1
     return hits / trials

@@ -316,7 +316,7 @@ class DirectCollectionSystem:
             count = peer.live_count()
             if count:
                 live_backlog[(peer.slot, peer.generation)] = count
-        for source, injected in self.injected_by_source.items():
+        for source, injected in sorted(self.injected_by_source.items()):
             slot, generation = source
             bucket = (
                 departed if generation < self.peers[slot].generation else live

@@ -697,7 +697,7 @@ class CollectionSystem:
                 )
         departed = SourceRecovery()
         live = SourceRecovery()
-        for source, injected in self.injected_by_source.items():
+        for source, injected in sorted(self.injected_by_source.items()):
             slot, generation = source
             bucket = (
                 departed if generation < self.peers[slot].generation else live

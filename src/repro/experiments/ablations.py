@@ -305,11 +305,13 @@ def run_topology_ablation(
     degree to locate how dense a neighborhood must be before the mean-field
     prediction holds.
     """
-    import random as random_module
-
+    from repro.sim.rng import SeedSequenceRegistry
     from repro.sim.topology import CompleteTopology, random_regular_topology
 
     budget = budget or budget_for(quality)
+    # Overlay wiring rides its own named substream per degree, so adding or
+    # reordering sweep points never perturbs the other overlays' draws.
+    overlay_seeds = SeedSequenceRegistry(seed).spawn("overlay-wiring")
     result = SeriesResult(
         name="ablation-topology",
         title="Ablation — overlay degree vs mean-field "
@@ -332,7 +334,7 @@ def run_topology_ablation(
             topology = CompleteTopology(budget.n_peers)
         else:
             topology = random_regular_topology(
-                budget.n_peers, degree, random_module.Random(seed + degree)
+                budget.n_peers, degree, overlay_seeds.python(f"degree:{degree}")
             )
         system = CollectionSystem(params, seed=seed, topology=topology)
         report = system.run(budget.warmup, budget.duration)

@@ -41,6 +41,7 @@ from repro.experiments.base import (
     simulate_metrics,
 )
 from repro.faults import FaultPlan
+from repro.sim.rng import SeedSequenceRegistry
 
 #: Fixed knobs for the non-swept part of each channel.
 OUTAGE_DURATION = 2.0
@@ -156,9 +157,13 @@ def rlnc_pollution_audit(
     basis), and completed segments checked.
     """
     originals: Dict[int, np.ndarray] = {}
+    # Payload bytes ride a dedicated substream family so the audit's data is
+    # reproducible from the session seed without perturbing protocol draws.
+    payload_seeds = SeedSequenceRegistry(seed).spawn("pollution-audit-payloads")
 
     def provider(descriptor) -> np.ndarray:
-        rows = np.random.default_rng(10_000 + descriptor.segment_id).integers(
+        rng = payload_seeds.numpy(f"segment:{descriptor.segment_id}")
+        rows = rng.integers(
             0, 256, size=(descriptor.size, payload_bytes), dtype=np.uint8
         )
         originals[descriptor.segment_id] = rows

@@ -7,7 +7,7 @@ goes wrong; :class:`FaultInjector` executes it against a running system.
 A default-constructed plan is bitwise-neutral — see ``plan.py``.
 """
 
-from repro.faults.injector import FaultInjector, corrupt_block
+from repro.faults.injector import FaultInjector, PollutableHolding, corrupt_block
 from repro.faults.plan import FaultPlan
 
-__all__ = ["FaultPlan", "FaultInjector", "corrupt_block"]
+__all__ = ["FaultPlan", "FaultInjector", "PollutableHolding", "corrupt_block"]

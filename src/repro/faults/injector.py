@@ -20,7 +20,7 @@ bursts).  Design rules:
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, FrozenSet, List, Optional, Protocol, Sequence
 
 from repro.coding.block import CodedBlock
 from repro.faults.plan import FaultPlan
@@ -43,6 +43,15 @@ def corrupt_block(block: CodedBlock) -> CodedBlock:
     if block.coefficients is not None:
         block.coefficients.fill(0)
     return block
+
+
+class PollutableHolding(Protocol):
+    """What the pollution channel needs to know about a peer's holding."""
+
+    @property
+    def polluted_count(self) -> int:
+        """Number of polluted blocks currently in the holding."""
+        ...
 
 
 class FaultInjector:
@@ -72,7 +81,7 @@ class FaultInjector:
         self._n_slots = n_slots
         self._metrics = metrics
         self._tracer = tracer
-        self.polluters = self._sample_polluters()
+        self.polluters: FrozenSet[int] = self._sample_polluters()
         self._down = False
         self._down_since = 0.0
         self._handles: List[EventHandle] = []
@@ -86,7 +95,7 @@ class FaultInjector:
         self.outages_started = 0
         self.bursts_fired = 0
 
-    def _sample_polluters(self) -> frozenset:
+    def _sample_polluters(self) -> FrozenSet[int]:
         fraction = self.plan.pollution_fraction
         if fraction <= 0.0:
             return frozenset()
@@ -148,7 +157,7 @@ class FaultInjector:
         """True when the peer slot is a configured polluter."""
         return slot in self.polluters
 
-    def pollutes(self, slot: int, holding) -> bool:
+    def pollutes(self, slot: int, holding: PollutableHolding) -> bool:
         """True when an emission from *holding* at *slot* is corrupted.
 
         A block is polluted if its emitter is a polluter slot, or if the
@@ -160,7 +169,9 @@ class FaultInjector:
             return False
         return slot in self.polluters or holding.polluted_count > 0
 
-    def maybe_pollute(self, slot: int, holding, block: CodedBlock) -> bool:
+    def maybe_pollute(
+        self, slot: int, holding: PollutableHolding, block: CodedBlock
+    ) -> bool:
         """Corrupt *block* in place when its emission is polluted.
 
         Returns True when the block was corrupted.  Zero-knob runs take the
@@ -193,6 +204,7 @@ class FaultInjector:
         self._metrics.servers_down.update(now, 1.0)
         if self._tracer is not None:
             self._tracer.record(now, KIND_OUTAGE)
+        assert self._pause_servers is not None  # start() enforces bind()
         self._pause_servers()
         if self.plan.outage_rate > 0:
             self._handles.append(
@@ -208,6 +220,7 @@ class FaultInjector:
         self._metrics.servers_down.update(now, 0.0)
         if self._tracer is not None:
             self._tracer.record(now, KIND_RECOVER, downtime=elapsed)
+        assert self._resume_servers is not None  # start() enforces bind()
         self._resume_servers(elapsed)
         if self.plan.outage_rate > 0:
             self._arm_next_outage()
@@ -228,5 +241,6 @@ class FaultInjector:
     def _fire_burst(self) -> None:
         slots = self._rng.sample(range(self._n_slots), self.burst_size())
         self.bursts_fired += 1
+        assert self._kill_slots is not None  # start() enforces bind()
         self._kill_slots(slots)
         self._arm_next_burst()

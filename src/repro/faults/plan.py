@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, List, Tuple
 
 from repro.util.validation import (
     require_nonnegative,
@@ -147,7 +147,7 @@ class FaultPlan:
 
     @staticmethod
     def renewal_outages(
-        duty_cycle: float, duration: float, **changes
+        duty_cycle: float, duration: float, **changes: Any
     ) -> "FaultPlan":
         """Build a renewal-outage plan targeting a long-run *duty_cycle*.
 
@@ -167,7 +167,7 @@ class FaultPlan:
 
     def describe(self) -> str:
         """One-line human-readable summary of the active fault channels."""
-        parts = []
+        parts: List[str] = []
         if self.gossip_loss_rate or self.pull_loss_rate:
             parts.append(
                 f"loss(gossip={self.gossip_loss_rate:g},"

@@ -1,0 +1,233 @@
+"""R3 trace-kinds: every emitted event kind is declared in the registry.
+
+``sim/trace.py`` owns the single ``TRACE_KINDS`` registry of event kinds.
+A typo'd kind at an emission site (``tracer.record(now, "gosip")``) would
+produce events that no filter, counter comparison, or downstream analysis
+ever matches — silently.  This rule resolves the ``kind`` argument of every
+``*tracer*.record(...)`` call statically:
+
+- string literals must appear in ``TRACE_KINDS``;
+- names must be ``KIND_*`` constants imported from the trace module (their
+  literal values are read from ``sim/trace.py``'s AST — nothing is
+  imported) and registered;
+- anything else (a computed kind) defeats static checking and is flagged.
+
+The registry file itself is audited too: a ``KIND_*`` constant missing
+from ``TRACE_KINDS`` is registry drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, List, Optional
+
+from repro.lint.framework import Finding, Rule, SourceModule, path_endswith
+
+#: Path suffix identifying the registry module.
+TRACE_MODULE_SUFFIX = "sim/trace.py"
+
+
+def _assigned_name(node: ast.stmt) -> Optional[ast.Name]:
+    """The single Name target of a (possibly annotated) assignment."""
+    if (
+        isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+    ):
+        return node.targets[0]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return node.target
+    return None
+
+
+def _assigned_value(node: ast.stmt) -> Optional[ast.expr]:
+    if isinstance(node, (ast.Assign, ast.AnnAssign)):
+        return node.value
+    return None
+
+
+def extract_trace_constants(module: SourceModule) -> Dict[str, str]:
+    """Top-level ``NAME = "literal"`` string constants of the trace module."""
+    constants: Dict[str, str] = {}
+    for node in module.tree.body:
+        name = _assigned_name(node)
+        value = _assigned_value(node)
+        if (
+            name is not None
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            constants[name.id] = value.value
+    return constants
+
+
+def extract_trace_registry(module: SourceModule) -> Optional[Dict[str, str]]:
+    """The ``TRACE_KINDS`` mapping of *module*, resolved statically.
+
+    Keys may be string literals or names of string constants assigned
+    earlier in the module.  Returns None when no registry is declared.
+    """
+    constants = extract_trace_constants(module)
+    for node in module.tree.body:
+        name = _assigned_name(node)
+        mapping = _assigned_value(node)
+        if not (
+            name is not None
+            and name.id == "TRACE_KINDS"
+            and isinstance(mapping, ast.Dict)
+        ):
+            continue
+        registry: Dict[str, str] = {}
+        for key, value in zip(mapping.keys, mapping.values):
+            kind: Optional[str] = None
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                kind = key.value
+            elif isinstance(key, ast.Name) and key.id in constants:
+                kind = constants[key.id]
+            if kind is not None:
+                description = ""
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    description = value.value
+                registry[kind] = description
+        return registry
+    return None
+
+
+class TraceKindRule(Rule):
+    """Flag trace emissions whose kind is absent from ``TRACE_KINDS``."""
+
+    id: ClassVar[str] = "R3"
+    name: ClassVar[str] = "trace-kinds"
+    hint: ClassVar[str] = (
+        "declare the kind in TRACE_KINDS in sim/trace.py and emit it via "
+        "its KIND_* constant"
+    )
+
+    def __init__(
+        self,
+        registry: Optional[Dict[str, str]] = None,
+        constants: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__()
+        #: kind value -> description; None until a trace module is seen.
+        self.registry = registry
+        #: constant name -> kind value, from the trace module.
+        self.constants = constants if constants is not None else {}
+
+    def learn_registry(self, trace_module: SourceModule) -> None:
+        """Load the registry and constants from a parsed trace module."""
+        registry = extract_trace_registry(trace_module)
+        if registry is not None:
+            self.registry = registry
+        self.constants = extract_trace_constants(trace_module)
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        if path_endswith(module.relpath, TRACE_MODULE_SUFFIX):
+            return self._check_registry_module(module)
+        return super().check(module)
+
+    def _check_registry_module(self, module: SourceModule) -> List[Finding]:
+        """Audit the registry file itself for drift."""
+        self.module = module
+        self.findings = []
+        registry = extract_trace_registry(module)
+        if registry is None:
+            self.flag(
+                module.tree,
+                "trace module declares no TRACE_KINDS registry",
+                hint="add TRACE_KINDS: Dict[str, str] mapping kind -> purpose",
+            )
+            return self.findings
+        for node in module.tree.body:
+            name = _assigned_name(node)
+            value = _assigned_value(node)
+            if (
+                name is not None
+                and name.id.startswith("KIND_")
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+                and value.value not in registry
+            ):
+                self.flag(
+                    node,
+                    f"kind constant {name.id} = "
+                    f"{value.value!r} is not declared in TRACE_KINDS",
+                )
+        return self.findings
+
+    # -- emission sites --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_trace_record(node):
+            self._check_kind_argument(node)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_trace_record(node: ast.Call) -> bool:
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "record"
+        ):
+            return False
+        receiver = node.func.value
+        terminal = ""
+        if isinstance(receiver, ast.Name):
+            terminal = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            terminal = receiver.attr
+        return "tracer" in terminal.lower()
+
+    def _check_kind_argument(self, node: ast.Call) -> None:
+        if self.registry is None:
+            return  # no registry discovered; nothing to check against
+        kind_node: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            kind_node = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "kind":
+                    kind_node = keyword.value
+                    break
+        if kind_node is None:
+            return
+        if isinstance(kind_node, ast.Constant) and isinstance(
+            kind_node.value, str
+        ):
+            if kind_node.value not in self.registry:
+                self.flag(
+                    kind_node,
+                    f"trace kind {kind_node.value!r} is not declared in "
+                    "TRACE_KINDS",
+                )
+            return
+        if isinstance(kind_node, ast.Name):
+            assert self.module is not None
+            origin = self.module.from_imports.get(kind_node.id)
+            constant_name = kind_node.id
+            if origin is not None and not origin[0].endswith("trace"):
+                self.flag(
+                    kind_node,
+                    f"trace kind name {constant_name!r} is not imported from "
+                    "the trace module",
+                )
+                return
+            value = self.constants.get(constant_name)
+            if value is None:
+                self.flag(
+                    kind_node,
+                    f"trace kind constant {constant_name!r} is not defined in "
+                    "the trace module",
+                )
+            elif value not in self.registry:
+                self.flag(
+                    kind_node,
+                    f"trace kind constant {constant_name!r} = {value!r} is "
+                    "not declared in TRACE_KINDS",
+                )
+            return
+        self.flag(
+            kind_node,
+            "trace kind must be a string literal or a KIND_* constant so it "
+            "can be checked statically",
+        )

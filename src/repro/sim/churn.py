@@ -71,6 +71,7 @@ class ChurnModel:
         """Draw one Exp(1/L) lifetime; raises if churn is disabled."""
         if not self.enabled:
             raise ValueError("churn is disabled; no lifetime distribution")
+        assert self._mean_lifetime is not None  # enabled guarantees this
         return exponential(self._rng, 1.0 / self._mean_lifetime)
 
     def start(self) -> None:

@@ -112,6 +112,7 @@ class Simulator:
             self.now = time
             action = handle.action
             handle.action = None
+            assert action is not None  # only cancel() clears a live action
             action()
             executed += 1
             self._events_processed += 1

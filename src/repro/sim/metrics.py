@@ -135,6 +135,7 @@ class MetricsReport:
     def as_dict(self) -> Dict[str, float]:
         """Flat numeric dict (None delays become NaN) for aggregation."""
         out: Dict[str, float] = {}
+        # lint: ok(R2): dataclass field order is definitional, not incidental
         for name, value in self.__dict__.items():
             if value is None:
                 out[name] = math.nan
@@ -271,8 +272,12 @@ class MetricsCollector:
         goodput = (
             self._delivered_original_blocks / window if window > 0 else 0.0
         )
+        mean_segment_delay: Optional[float]
+        mean_block_delay: Optional[float]
+        p50_block_delay: Optional[float]
+        p95_block_delay: Optional[float]
         if self._delay_samples:
-            mean_segment_delay = sum(self._delay_samples) / len(
+            mean_segment_delay = math.fsum(self._delay_samples) / len(
                 self._delay_samples
             )
             mean_block_delay = mean_segment_delay / self.segment_size

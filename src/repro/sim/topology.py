@@ -16,7 +16,7 @@ not) — exactly the decoupling the paper's replacement model is designed for.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.util.validation import require_positive_int, require_probability
 
@@ -83,8 +83,8 @@ class ExplicitTopology(Topology):
 
     def __init__(self, n_slots: int, adjacency: Dict[int, Sequence[int]]) -> None:
         self._n = require_positive_int("n_slots", n_slots)
-        neighbor_sets: List[set] = [set() for _ in range(self._n)]
-        for slot, neighbors in adjacency.items():
+        neighbor_sets: List[Set[int]] = [set() for _ in range(self._n)]
+        for slot, neighbors in sorted(adjacency.items()):
             if not 0 <= slot < self._n:
                 raise ValueError(f"slot {slot} out of range [0, {self._n})")
             for other in neighbors:
@@ -142,7 +142,7 @@ def random_regular_topology(
         # reshuffle only the conflicting stubs.  Whole-matching rejection has
         # acceptance probability ~exp(-(d^2-1)/4), hopeless beyond d~4.
         remaining = [slot for slot in range(n_slots) for _ in range(degree)]
-        edges = set()
+        edges: Set[Tuple[int, int]] = set()
         stuck = 0
         while remaining and stuck < 50:
             rng.shuffle(remaining)
@@ -159,7 +159,7 @@ def random_regular_topology(
             remaining = leftover
         if not remaining:
             adjacency: Dict[int, List[int]] = {slot: [] for slot in range(n_slots)}
-            for a, b in edges:
+            for a, b in sorted(edges):
                 adjacency[a].append(b)
             return ExplicitTopology(n_slots, adjacency)
     raise RuntimeError(

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, Iterable, List, Optional
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Deque, Dict, FrozenSet, Iterable, List, Optional, Union
 
 #: Canonical event kinds emitted by the instrumented system.
 KIND_INJECT = "inject"
@@ -37,6 +38,27 @@ KIND_POLLUTED = "polluted"
 KIND_OUTAGE = "outage"
 KIND_RECOVER = "recover"
 KIND_BURST = "burst"
+
+#: The single source of truth for every event kind the system may emit.
+#: ``repro.lint`` rule R3 statically checks each ``record(..., kind)`` call
+#: site against this registry, so a typo'd kind fails lint instead of
+#: silently producing an event no filter ever matches.  Add new kinds here
+#: (with a one-line description) before emitting them anywhere.
+TRACE_KINDS: Dict[str, str] = {
+    KIND_INJECT: "a source peer injected a fresh segment",
+    KIND_GOSSIP: "one coded block was gossiped between peers",
+    KIND_EXPIRE: "a buffered block's TTL expired",
+    KIND_DEPART: "a peer departed and its slot was replaced",
+    KIND_COLLECT: "a server pull obtained a useful block",
+    KIND_COMPLETE: "a segment became decodable at the servers",
+    KIND_LOST: "a segment became unrecoverable",
+    KIND_DROP: "a transfer was lost on a faulty link",
+    KIND_POLLUTED: "a server rejected a polluted block",
+    KIND_OUTAGE: "a server outage window began",
+    KIND_RECOVER: "the servers recovered from an outage",
+    KIND_BURST: "a correlated churn burst fired",
+}
+
 #: Kinds every fault-free run can emit.
 PROTOCOL_KINDS = frozenset(
     {
@@ -59,7 +81,11 @@ FAULT_KINDS = frozenset(
         KIND_BURST,
     }
 )
-ALL_KINDS = PROTOCOL_KINDS | FAULT_KINDS
+ALL_KINDS = frozenset(TRACE_KINDS)
+if PROTOCOL_KINDS | FAULT_KINDS != ALL_KINDS:  # pragma: no cover - import guard
+    raise AssertionError(
+        "PROTOCOL_KINDS | FAULT_KINDS must partition the TRACE_KINDS registry"
+    )
 
 
 @dataclass(frozen=True)
@@ -72,9 +98,9 @@ class TraceEvent:
     segment: Optional[int] = None
     detail: Optional[Dict[str, float]] = None
 
-    def as_dict(self) -> Dict:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (omits empty fields)."""
-        out: Dict = {"time": self.time, "kind": self.kind}
+        out: Dict[str, Any] = {"time": self.time, "kind": self.kind}
         if self.peer is not None:
             out["peer"] = self.peer
         if self.segment is not None:
@@ -101,15 +127,16 @@ class Tracer:
     ) -> None:
         if max_events is not None and max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
+        wanted_kinds: Optional[FrozenSet[str]] = None
         if kinds is not None:
-            kinds = frozenset(kinds)
-            unknown = kinds - ALL_KINDS
+            wanted_kinds = frozenset(kinds)
+            unknown = wanted_kinds - ALL_KINDS
             if unknown:
                 raise ValueError(
                     f"unknown trace kinds {sorted(unknown)}; "
                     f"valid kinds: {sorted(ALL_KINDS)}"
                 )
-        self._kinds: Optional[FrozenSet[str]] = kinds
+        self._kinds: Optional[FrozenSet[str]] = wanted_kinds
         self._events: Deque[TraceEvent] = deque(maxlen=max_events)
         self.counts: Dict[str, int] = {}
         self.dropped = 0
@@ -166,7 +193,7 @@ class Tracer:
         """Captured events touching one peer slot."""
         return [event for event in self._events if event.peer == slot]
 
-    def to_jsonl(self, path) -> int:
+    def to_jsonl(self, path: Union[str, "Path"]) -> int:
         """Write captured events as JSON Lines; returns the event count."""
         events = self.events
         with open(path, "w", encoding="utf-8") as handle:
@@ -176,7 +203,7 @@ class Tracer:
         return len(events)
 
     @staticmethod
-    def read_jsonl(path) -> List[TraceEvent]:
+    def read_jsonl(path: Union[str, "Path"]) -> List[TraceEvent]:
         """Load events written by :meth:`to_jsonl`."""
         events: List[TraceEvent] = []
         with open(path, "r", encoding="utf-8") as handle:

@@ -1,0 +1,9 @@
+"""Fixture: hazards outside every rule scope must not be flagged."""
+
+
+def tally(counters):
+    # sum() is fine here: tools/ is not a metrics path (R4 scope).
+    total = sum(counters)
+    # set iteration is fine here: tools/ is not a hot path (R2 scope).
+    seen = {1, 2, 3}
+    return total, [entry for entry in seen]

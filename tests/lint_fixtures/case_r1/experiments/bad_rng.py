@@ -1,0 +1,12 @@
+"""Fixture: direct RNG calls outside sim/rng.py (R1)."""
+
+import random
+
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng(7)
+    values = rng.integers(0, 10, size=4)
+    pick = random.choice([1, 2, 3])
+    return values, pick

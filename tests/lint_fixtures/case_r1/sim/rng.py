@@ -1,0 +1,7 @@
+"""Fixture: the RNG module itself is allowed to touch the libraries."""
+
+import random
+
+
+def make_stream(seed):
+    return random.Random(seed)

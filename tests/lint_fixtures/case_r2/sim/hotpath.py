@@ -1,0 +1,15 @@
+"""Fixture: determinism hazards in a simulation path (R2)."""
+
+import time
+
+
+def drain(table):
+    order = []
+    active = {1, 2, 3}
+    for item in active:
+        order.append(item)
+    for key, value in table.items():
+        order.append((key, value))
+    stamp = time.perf_counter()
+    order.sort(key=lambda entry: id(entry))
+    return order, stamp

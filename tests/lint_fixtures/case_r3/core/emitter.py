@@ -1,0 +1,10 @@
+"""Fixture: trace emission sites checked against TRACE_KINDS (R3)."""
+
+from sim.trace import KIND_PING
+
+
+def emit(tracer, now, dynamic_kind):
+    tracer.record(now, KIND_PING)
+    tracer.record(now, "pong")
+    tracer.record(now, "gosip")
+    tracer.record(now, dynamic_kind)

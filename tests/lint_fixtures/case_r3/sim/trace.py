@@ -1,0 +1,10 @@
+"""Fixture trace module: one constant has drifted out of the registry."""
+
+KIND_PING = "ping"
+KIND_PONG = "pong"
+KIND_DRIFT = "drift"
+
+TRACE_KINDS = {
+    KIND_PING: "a ping was sent",
+    KIND_PONG: "a pong came back",
+}

@@ -1,0 +1,7 @@
+"""Fixture: float accumulation in an analysis path (R4)."""
+
+
+def mean(samples):
+    total = sum(samples)
+    exact = sum(range(10))  # lint: ok(R4): integer range, exact
+    return total / len(samples), exact

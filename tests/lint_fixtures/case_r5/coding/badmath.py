@@ -1,0 +1,9 @@
+"""Fixture: native arithmetic on GF(256)-named data (R5)."""
+
+
+def combine(coefficients, other_coeffs, scale):
+    mixed = coefficients + other_coeffs
+    scaled = coefficients * scale
+    xored = coefficients ^ other_coeffs
+    coefficients += other_coeffs
+    return mixed, scaled, xored, coefficients

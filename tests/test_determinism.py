@@ -1,0 +1,105 @@
+"""End-to-end determinism regressions: same seed, same bytes.
+
+The linter (R1/R2) statically forbids the hazards that break run-to-run
+reproducibility; these tests pin the dynamic contract itself: two runs from
+the same root seed must produce *identical* trace streams and reports, with
+and without fault injection.  They also guard the RNG-substream remediation
+of the two historical R1 violations (``experiments/robustness.py`` drawing
+payload bytes from a module-fresh ``np.random.default_rng`` and
+``experiments/ablations.py`` wiring overlays from a local ``random`` import):
+those call sites now ride named :class:`SeedSequenceRegistry` substreams, and
+the functions must be reproducible from their ``seed`` argument alone.
+"""
+
+import json
+
+from repro.core.params import Parameters
+from repro.core.system import CollectionSystem
+from repro.faults import FaultPlan
+from repro.sim.trace import Tracer
+
+
+def _params(faults=None):
+    return Parameters(
+        n_peers=40,
+        arrival_rate=6.0,
+        gossip_rate=8.0,
+        deletion_rate=1.0,
+        normalized_capacity=3.0,
+        segment_size=4,
+        n_servers=2,
+        mean_lifetime=30.0,
+        faults=faults,
+    )
+
+
+def _run_traced(faults, seed):
+    """One full run; returns (trace event dicts, report dict)."""
+    tracer = Tracer()
+    system = CollectionSystem(_params(faults), seed=seed, tracer=tracer)
+    report = system.run(warmup=3.0, duration=8.0)
+    return [event.as_dict() for event in tracer.events], report.as_dict()
+
+
+class TestSameSeedSameBytes:
+    def test_fault_free_runs_are_identical(self):
+        events_a, report_a = _run_traced(None, seed=11)
+        events_b, report_b = _run_traced(None, seed=11)
+        assert len(events_a) > 100  # the runs actually did something
+        assert events_a == events_b
+        # byte-level check: the serialized forms match exactly too
+        assert json.dumps(events_a) == json.dumps(events_b)
+        assert json.dumps(report_a, sort_keys=True) == json.dumps(
+            report_b, sort_keys=True
+        )
+
+    def test_faulty_runs_are_identical(self):
+        plan = FaultPlan(
+            gossip_loss_rate=0.1,
+            pull_loss_rate=0.05,
+            pollution_fraction=0.1,
+            burst_rate=0.2,
+            burst_fraction=0.2,
+            outage_rate=0.1,
+            outage_duration=0.5,
+        )
+        events_a, report_a = _run_traced(plan, seed=11)
+        events_b, report_b = _run_traced(plan, seed=11)
+        assert len(events_a) > 100
+        assert events_a == events_b
+        assert json.dumps(report_a, sort_keys=True) == json.dumps(
+            report_b, sort_keys=True
+        )
+
+    def test_different_seeds_diverge(self):
+        """Sanity check: the equality above is not vacuous."""
+        events_a, _ = _run_traced(None, seed=11)
+        events_b, _ = _run_traced(None, seed=12)
+        assert events_a != events_b
+
+
+class TestRemediatedSubstreams:
+    """The two fixed R1 violations must be reproducible from their seed."""
+
+    def test_pollution_audit_payloads_are_seed_stable(self):
+        from repro.experiments.robustness import rlnc_pollution_audit
+
+        first = rlnc_pollution_audit(seed=5, pollution_fraction=0.3)
+        second = rlnc_pollution_audit(seed=5, pollution_fraction=0.3)
+        assert first == second
+        rejected, corrupted, decoded = first
+        assert corrupted == 0  # pollution detection still holds end to end
+        assert decoded > 0
+
+    def test_overlay_wiring_is_seed_stable(self):
+        from repro.sim.rng import SeedSequenceRegistry
+        from repro.sim.topology import random_regular_topology
+
+        def wire():
+            overlay_seeds = SeedSequenceRegistry(17).spawn("overlay-wiring")
+            topology = random_regular_topology(
+                40, 4, overlay_seeds.python("degree:4")
+            )
+            return [topology.neighbors(slot) for slot in range(40)]
+
+        assert wire() == wire()
