@@ -61,12 +61,17 @@ def test_bench_incremental_decode_segment32(benchmark):
 
 
 def test_bench_event_engine_throughput(benchmark):
-    """Raw engine speed: schedule/execute 20k trivial events."""
+    """Raw engine speed: schedule/execute 20k trivial events.
+
+    Uses the handle-free fast path (`schedule_call`) — the scheduling
+    flavour the protocol's recurring clocks, TTL expiries, and delivery
+    latencies actually ride.
+    """
 
     def run():
         sim = Simulator()
         for index in range(20_000):
-            sim.schedule(index * 1e-4, lambda: None)
+            sim.schedule_call(index * 1e-4, lambda: None)
         sim.run_until(10.0)
         return sim.events_processed
 

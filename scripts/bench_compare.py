@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files and flag regressions/speedups.
+
+The perf-regression harness: every benchmark run writes a pytest-benchmark
+JSON (``--benchmark-json=...``), and this script diffs it against the
+committed baseline so perf changes are explicit instead of silent.
+
+Usage::
+
+    # regression gate (hard-fail on >25% slowdown vs the baseline)
+    python scripts/bench_compare.py BENCH_baseline.json bench-now.json \
+        --tolerance 25%
+
+    # CI smoke mode: report, but exit 0 on regressions (hardware noise)
+    python scripts/bench_compare.py BENCH_baseline.json bench-now.json \
+        --tolerance 25% --warn-only
+
+    # speedup proof (e.g. this PR's >=2x acceptance criterion)
+    python scripts/bench_compare.py BENCH_seed.json BENCH_baseline.json \
+        --min-speedup 2.0 --only gf256_axpy incremental_decode event_engine
+
+Exit codes: 0 ok, 1 regression (or unmet --min-speedup), 2 usage error.
+
+Benchmarks are matched by name; names present in only one file are listed
+but never fail the comparison (new benchmarks must be addable without
+rewriting history).  The compared statistic defaults to the median, the
+most noise-robust of pytest-benchmark's aggregates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+
+class UsageError(Exception):
+    """Bad input (unreadable JSON, unknown stat): exit code 2, not 1."""
+
+
+def load_stats(path: Path, stat: str) -> Dict[str, float]:
+    """Map benchmark name -> chosen statistic (seconds) from one JSON file."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise UsageError(f"cannot read benchmark JSON {path}: {exc}")
+    out: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        if stat not in stats:
+            raise UsageError(
+                f"{path}: benchmark {bench.get('name')!r} has no "
+                f"statistic {stat!r}"
+            )
+        out[str(bench["name"])] = float(stats[stat])
+    if not out:
+        raise UsageError(f"{path} contains no benchmarks")
+    return out
+
+
+def parse_tolerance(text: str) -> float:
+    """'25%' or '25' -> 0.25 (allowed fractional slowdown)."""
+    value = float(text.rstrip("%"))
+    if value < 0:
+        raise argparse.ArgumentTypeError("tolerance must be >= 0")
+    return value / 100.0
+
+
+def _format_seconds(seconds: float) -> str:
+    for unit, scale in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6)):
+        if seconds >= scale:
+            return f"{seconds / scale:.2f}{unit}"
+    return f"{seconds / 1e-9:.0f}ns"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline", type=Path, help="reference benchmark JSON")
+    parser.add_argument("current", type=Path, help="benchmark JSON to judge")
+    parser.add_argument(
+        "--stat",
+        default="median",
+        choices=["min", "max", "mean", "median"],
+        help="statistic to compare (default: median)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=parse_tolerance,
+        default=parse_tolerance("10%"),
+        metavar="PCT",
+        help="allowed slowdown before a benchmark counts as a regression "
+        "(e.g. '25%%'; default 10%%)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="require every compared benchmark to be at least X times "
+        "faster than the baseline (speedup-proof mode)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="SUBSTR",
+        help="restrict the comparison to benchmarks whose name contains "
+        "any of these substrings",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI smoke mode on noisy hosts)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_stats(args.baseline, args.stat)
+        current = load_stats(args.current, args.stat)
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    names = sorted(set(baseline) & set(current))
+    if args.only:
+        names = [n for n in names if any(sub in n for sub in args.only)]
+    if not names:
+        print("error: no benchmarks in common to compare", file=sys.stderr)
+        return 2
+
+    regressions: List[str] = []
+    too_slow: List[str] = []
+    width = max(len(name) for name in names)
+    print(
+        f"comparing {args.stat} of {len(names)} benchmark(s): "
+        f"{args.baseline} -> {args.current}"
+    )
+    for name in names:
+        ref = baseline[name]
+        now = current[name]
+        speedup = ref / now if now > 0 else float("inf")
+        verdict = "ok"
+        if now > ref * (1.0 + args.tolerance):
+            verdict = f"REGRESSION (+{(now / ref - 1.0) * 100.0:.0f}%)"
+            regressions.append(name)
+        elif speedup >= 1.05:
+            verdict = f"{speedup:.2f}x faster"
+        if args.min_speedup is not None and speedup < args.min_speedup:
+            verdict += f"  [below required {args.min_speedup:g}x]"
+            too_slow.append(name)
+        print(
+            f"  {name:<{width}}  {_format_seconds(ref):>9} -> "
+            f"{_format_seconds(now):>9}  {verdict}"
+        )
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  note: {name} only in baseline")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  note: {name} only in current (new benchmark)")
+
+    failed = bool(too_slow) or (bool(regressions) and not args.warn_only)
+    if regressions and args.warn_only:
+        print("warn-only mode: regressions reported but not fatal")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

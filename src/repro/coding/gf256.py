@@ -7,18 +7,32 @@ field GF(2^8)").  This module implements the field from scratch:
 - construction of exponential/logarithm tables over the AES polynomial
   ``x^8 + x^4 + x^3 + x + 1`` (0x11B) with generator 0x03,
 - scalar ``add``/``sub``/``mul``/``div``/``inv``/``pow``,
-- vectorized numpy operations used by the linear-algebra layer
-  (:mod:`repro.coding.linalg`), where coefficient vectors are ``uint8`` arrays.
+- vectorized numpy kernels used by the linear-algebra layer
+  (:mod:`repro.coding.linalg`), where coefficient vectors are ``uint8``
+  arrays.
 
 Addition in a binary extension field is XOR, so ``add`` and ``sub`` coincide.
-Multiplication uses ``exp[(log a + log b) mod 255]``; the tables are built
-once at import time by repeated multiplication by the generator, not copied
-from any reference table.
+
+Kernel design (the hot path of every simulated coding operation): a full
+256x256 ``uint8`` multiplication table (:data:`MUL_TABLE`, 64 KiB — it lives
+comfortably in L1/L2 cache) is precomputed at import from the exp/log
+tables.  Every vector kernel is then a *single table gather* —
+``MUL_TABLE[scalar][vector]`` — followed by an XOR, with no ``int32`` log
+temporaries, no post-hoc zero-masking (row 0 and column 0 of the table are
+already zero), and no per-call allocation on the axpy path (a reusable
+module-level scratch buffer backs :func:`vec_addmul`).  Batched kernels
+(:func:`vec_addmul_rows`, :func:`rows_addmul`, :func:`combine_rows`) fold
+whole elimination passes into one gather + XOR-reduce, which is what makes
+the incremental decoder's per-block cost a handful of numpy calls instead
+of a Python loop over pivot rows.
+
+The module is deliberately not thread-safe (the scratch buffer is shared);
+the simulator is single-threaded by design.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union, cast
 
 import numpy as np
 import numpy.typing as npt
@@ -57,6 +71,23 @@ def _build_tables() -> Tuple[npt.NDArray[np.int32], npt.NDArray[np.int32]]:
 
 
 EXP_TABLE, LOG_TABLE = _build_tables()
+
+
+def _build_mul_table() -> Vector:
+    """Tabulate the full 256x256 product table from the exp/log tables.
+
+    Row/column 0 stay zero, so kernels need no zero-masking: a gather
+    through the table is the complete field multiplication.
+    """
+    table = np.zeros((ORDER, ORDER), dtype=np.uint8)
+    logs = LOG_TABLE[1:ORDER]
+    # log a + log b <= 508 < 510, inside the doubled exp table.
+    table[1:, 1:] = EXP_TABLE[logs[:, None] + logs[None, :]].astype(np.uint8)
+    return table
+
+
+#: Flat multiplication table: ``MUL_TABLE[a, b] == mul(a, b)`` (64 KiB).
+MUL_TABLE: Vector = _build_mul_table()
 
 
 def validate_symbol(value: int) -> int:
@@ -130,15 +161,46 @@ def power(a: int, exponent: int) -> int:
 # Vectorized operations on uint8 numpy arrays.
 # ---------------------------------------------------------------------------
 
-def as_vector(values: VectorLike) -> Vector:
-    """Coerce *values* into a ``uint8`` coefficient vector, validating range."""
-    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+#: Reusable gather buffers for the allocation-free axpy path, keyed by
+#: length.  The simulation uses a handful of vector lengths (segment sizes
+#: and payload widths), so the cache stays tiny; it is cleared if it ever
+#: grows past ``_SCRATCH_LIMIT`` distinct lengths.
+_SCRATCH: Dict[int, Vector] = {}
+_SCRATCH_LIMIT = 16
+
+
+def _scratch(length: int) -> Vector:
+    buffer = _SCRATCH.get(length)
+    if buffer is None:
+        if len(_SCRATCH) >= _SCRATCH_LIMIT:
+            _SCRATCH.clear()
+        buffer = np.empty(length, dtype=np.uint8)
+        _SCRATCH[length] = buffer
+    return buffer
+
+
+def as_vector(values: VectorLike, copy: bool = True) -> Vector:
+    """Coerce *values* into a ``uint8`` coefficient vector, validating range.
+
+    With ``copy=True`` (the default) the result always owns its memory, so
+    callers may mutate it freely.  ``copy=False`` returns ``uint8`` ndarray
+    inputs as-is — the zero-copy fast path for read-only callers such as
+    the incremental decoder, which copies during reduction anyway.
+    """
+    array: npt.NDArray[np.generic]
+    if isinstance(values, np.ndarray):
+        array = values
+    elif isinstance(values, (list, tuple)):
+        array = np.asarray(values)
+    else:
+        array = np.asarray(list(values))
     if array.dtype == np.uint8:
-        copied: Vector = array.copy()
-        return copied
+        if copy:
+            return array.copy()
+        return cast(Vector, array)
     if array.size and (array.min() < 0 or array.max() > 255):
         raise ValueError("GF(256) vector entries must lie in [0, 255]")
-    coerced: Vector = array.astype(np.uint8)
+    coerced: Vector = array.astype(np.uint8)  # astype always copies here
     return coerced
 
 
@@ -148,35 +210,111 @@ def vec_add(a: Vector, b: Vector) -> Vector:
     return result
 
 
-def vec_scale(vector: Vector, scalar: int) -> Vector:
-    """Multiply every entry of *vector* by the field scalar *scalar*."""
+def vec_scale(vector: Vector, scalar: int, out: Optional[Vector] = None) -> Vector:
+    """Multiply every entry of *vector* by the field scalar *scalar*.
+
+    A single gather through the scalar's :data:`MUL_TABLE` row; ``out``
+    (which must not alias *vector*) receives the result in place.
+    """
     scalar = validate_symbol(scalar)
-    if scalar == 0:
-        return np.zeros_like(vector)
-    if scalar == 1:
-        return vector.copy()
-    logs = LOG_TABLE[vector.astype(np.int32)] + LOG_TABLE[scalar]
-    result: Vector = EXP_TABLE[logs].astype(np.uint8)
-    result[vector == 0] = 0
-    return result
+    row = MUL_TABLE[scalar]
+    if out is None:
+        result: Vector = row[vector]
+        return result
+    # mode='clip' skips bounds checking; uint8 indices into a 256-entry
+    # table row are always in range.
+    row.take(vector, out=out, mode="clip")
+    return out
 
 
 def vec_addmul(accumulator: Vector, vector: Vector, scalar: int) -> None:
-    """In-place ``accumulator ^= scalar * vector`` (the axpy of GF(256))."""
+    """In-place ``accumulator ^= scalar * vector`` (the axpy of GF(256)).
+
+    One table gather into a reused scratch buffer plus one in-place XOR —
+    no temporaries are allocated for 1-d operands.
+    """
     if accumulator.shape != vector.shape:
         raise ValueError(
             f"shape mismatch: accumulator {accumulator.shape} vs vector {vector.shape}"
         )
-    np.bitwise_xor(accumulator, vec_scale(vector, scalar), out=accumulator)
+    scalar = validate_symbol(scalar)
+    if scalar == 0:
+        return  # adds the zero vector
+    row = MUL_TABLE[scalar]
+    if vector.ndim == 1:
+        buffer = _scratch(vector.shape[0])
+        # mode='clip' skips bounds checking; uint8 indices into a 256-entry
+        # table row are always in range.
+        row.take(vector, out=buffer, mode="clip")
+        np.bitwise_xor(accumulator, buffer, out=accumulator)
+    else:
+        np.bitwise_xor(accumulator, row[vector], out=accumulator)
+
+
+def vec_addmul_rows(accumulator: Vector, rows: Vector, scalars: Vector) -> None:
+    """Batched axpy: ``accumulator ^= XOR_i scalars[i] * rows[i]``.
+
+    *rows* is ``(r, n)``, *scalars* ``(r,)``, *accumulator* ``(n,)``.  One
+    broadcast gather builds all scaled rows at once; zero scalars contribute
+    nothing because table row 0 is zero.  This is the whole elimination pass
+    of the incremental decoder.
+    """
+    if rows.ndim != 2 or rows.shape[0] != scalars.shape[0]:
+        raise ValueError(
+            f"rows {rows.shape} and scalars {scalars.shape} do not align"
+        )
+    if rows.shape[1] != accumulator.shape[0]:
+        raise ValueError(
+            f"rows {rows.shape} do not match accumulator {accumulator.shape}"
+        )
+    if not scalars.any():
+        return
+    products = MUL_TABLE[scalars[:, None], rows]
+    np.bitwise_xor(
+        accumulator,
+        np.bitwise_xor.reduce(products, axis=0),
+        out=accumulator,
+    )
+
+
+def rows_addmul(rows: Vector, vector: Vector, scalars: Vector) -> None:
+    """Batched row update: ``rows[i] ^= scalars[i] * vector`` for every i.
+
+    The outer-product gather used for Gauss-Jordan back-elimination: one
+    new pivot row is folded into all stored rows in a single pass.
+    """
+    if rows.ndim != 2 or rows.shape[0] != scalars.shape[0]:
+        raise ValueError(
+            f"rows {rows.shape} and scalars {scalars.shape} do not align"
+        )
+    if rows.shape[1] != vector.shape[0]:
+        raise ValueError(f"rows {rows.shape} do not match vector {vector.shape}")
+    if not scalars.any():
+        return
+    products = MUL_TABLE[scalars[:, None], vector[None, :]]
+    np.bitwise_xor(rows, products, out=rows)
+
+
+def combine_rows(rows: Vector, scalars: Vector) -> Vector:
+    """Return the linear combination ``XOR_i scalars[i] * rows[i]``.
+
+    The coding primitive behind re-encoding: a fresh ``(n,)`` vector from
+    ``(r, n)`` rows and ``(r,)`` coefficients.
+    """
+    if rows.ndim != 2 or rows.shape[0] != scalars.shape[0]:
+        raise ValueError(
+            f"rows {rows.shape} and scalars {scalars.shape} do not align"
+        )
+    out = np.zeros(rows.shape[1], dtype=np.uint8)
+    vec_addmul_rows(out, rows, scalars)
+    return out
 
 
 def vec_mul(a: Vector, b: Vector) -> Vector:
     """Element-wise field multiplication of two uint8 arrays."""
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
-    logs = LOG_TABLE[a.astype(np.int32)] + LOG_TABLE[b.astype(np.int32)]
-    result: Vector = EXP_TABLE[logs].astype(np.uint8)
-    result[(a == 0) | (b == 0)] = 0
+    result: Vector = MUL_TABLE[a, b]
     return result
 
 
@@ -187,12 +325,16 @@ def mat_vec(matrix: Vector, vector: Vector) -> Vector:
         raise ValueError(
             f"dimension mismatch: matrix {matrix.shape} x vector {vector.shape}"
         )
-    out = np.zeros(matrix.shape[0], dtype=np.uint8)
-    for j in range(vector.shape[0]):
-        scalar = int(vector[j])
-        if scalar:
-            vec_addmul(out, matrix[:, j], scalar)
-    return out
+    if matrix.shape[1] == 0:
+        return np.zeros(matrix.shape[0], dtype=np.uint8)
+    products = MUL_TABLE[matrix, vector[None, :]]
+    result: Vector = np.bitwise_xor.reduce(products, axis=1)
+    return result
+
+
+#: Element budget for one mat_mul broadcast; larger products are chunked
+#: over the contraction axis to bound peak memory at ~4 MiB per step.
+_MAT_MUL_CHUNK_ELEMS = 1 << 22
 
 
 def mat_mul(a: Vector, b: Vector) -> Vector:
@@ -201,11 +343,16 @@ def mat_mul(a: Vector, b: Vector) -> Vector:
     b = np.atleast_2d(b)
     if a.shape[1] != b.shape[0]:
         raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
-    for k in range(a.shape[1]):
-        column = a[:, k]
-        row = b[k, :]
-        nz_cols = np.nonzero(row)[0]
-        for j in nz_cols:
-            vec_addmul(out[:, j], column, int(row[j]))
+    m, k = a.shape
+    p = b.shape[1]
+    out = np.zeros((m, p), dtype=np.uint8)
+    if k == 0:
+        return out
+    step = max(1, _MAT_MUL_CHUNK_ELEMS // max(1, m * p))
+    for start in range(0, k, step):
+        stop = min(k, start + step)
+        products = MUL_TABLE[a[:, start:stop, None], b[None, start:stop, :]]
+        np.bitwise_xor(
+            out, np.bitwise_xor.reduce(products, axis=1), out=out
+        )
     return out

@@ -12,7 +12,16 @@ Two styles of elimination are provided:
 The paper notes that decoding a segment of ``s`` blocks costs about ``O(s)``
 operations per input block once blocks arrive; the incremental decoder has
 exactly that per-block profile (one elimination pass against at most ``s``
-pivot rows).
+pivot rows), and the pass itself is a *single batched gather-scale-XOR*
+(:func:`repro.coding.gf256.vec_addmul_rows`) rather than a Python loop.
+
+Equivalence of the batched pass with sequential elimination: stored pivot
+rows are kept mutually Gauss-Jordan reduced, i.e. ``row_i[pivot_col_j] ==
+(1 if i == j else 0)``.  Eliminating with ``row_i`` therefore never changes
+the incoming vector's entry at any *other* pivot column, so the elimination
+factors gathered up-front equal the factors the sequential loop would read
+one at a time, and XOR accumulation commutes — the batched result is
+byte-identical.
 """
 
 from __future__ import annotations
@@ -37,6 +46,9 @@ def rref(matrix: VectorLike) -> Tuple[Vector, List[int]]:
     """Reduced row-echelon form of *matrix* over GF(256).
 
     Returns ``(reduced, pivot_columns)``.  The input is not modified.
+    Pivot search is a vectorized ``np.nonzero`` over the column slice and
+    elimination is one batched :func:`repro.coding.gf256.rows_addmul` pass
+    per pivot instead of a Python loop over rows.
     """
     work = _as_matrix(matrix).copy()
     n_rows, n_cols = work.shape
@@ -45,21 +57,18 @@ def rref(matrix: VectorLike) -> Tuple[Vector, List[int]]:
     for col in range(n_cols):
         if row >= n_rows:
             break
-        pivot_row = None
-        for candidate in range(row, n_rows):
-            if work[candidate, col]:
-                pivot_row = candidate
-                break
-        if pivot_row is None:
+        candidates = np.nonzero(work[row:, col])[0]
+        if candidates.size == 0:
             continue
+        pivot_row = row + int(candidates[0])
         if pivot_row != row:
             work[[row, pivot_row]] = work[[pivot_row, row]]
         pivot_value = int(work[row, col])
         if pivot_value != 1:
             work[row] = gf256.vec_scale(work[row], gf256.inv(pivot_value))
-        for other in range(n_rows):
-            if other != row and work[other, col]:
-                gf256.vec_addmul(work[other], work[row], int(work[other, col]))
+        factors = work[:, col].copy()
+        factors[row] = 0
+        gf256.rows_addmul(work, work[row], factors)
         pivot_cols.append(col)
         row += 1
     return work, pivot_cols
@@ -120,6 +129,14 @@ class IncrementalDecoder:
 
     Payloads are optional: the protocol simulators often track only
     coefficient vectors (rank evolution) without carrying data bytes.
+
+    Storage invariants (the zero-copy design): the ``size x size``
+    coefficient matrix is preallocated at construction and rows
+    ``[0, rank)`` are the live pivot rows in insertion order — no array is
+    ever reallocated or vstacked per insert.  The payload matrix is
+    allocated once, lazily, when the first payload arrives; a boolean mask
+    records which rows carry payloads so mixed streams behave exactly like
+    the original list-of-optionals implementation.
     """
 
     def __init__(self, size: int, payload_length: Optional[int] = None) -> None:
@@ -127,21 +144,24 @@ class IncrementalDecoder:
             raise ValueError(f"segment size must be >= 1, got {size}")
         self.size = size
         self.payload_length = payload_length
-        # Row-echelon coefficient rows and the matching (reduced) payloads.
-        self._rows: Vector = np.zeros((0, size), dtype=np.uint8)
-        self._payloads: List[Optional[Vector]] = []
-        # pivot column of each stored row, kept sorted by construction
+        # Preallocated pivot-row storage; rows [0, _rank) are live.
+        self._matrix: Vector = np.zeros((size, size), dtype=np.uint8)
+        self._payload_matrix: Optional[Vector] = None
+        self._has_payload = np.zeros(size, dtype=bool)
+        # pivot column of each stored row, in insertion order
         self._pivot_cols: List[int] = []
+        self._pivot_array = np.zeros(size, dtype=np.intp)
+        self._rank = 0
 
     @property
     def rank(self) -> int:
         """Number of linearly independent blocks received so far."""
-        return self._rows.shape[0]
+        return self._rank
 
     @property
     def is_complete(self) -> bool:
         """True once the full segment can be decoded."""
-        return self.rank == self.size
+        return self._rank == self.size
 
     def needs_more(self) -> bool:
         """True while additional innovative blocks are still useful."""
@@ -149,7 +169,7 @@ class IncrementalDecoder:
 
     def would_be_innovative(self, coefficients: Vector) -> bool:
         """Check innovation without mutating the decoder state."""
-        reduced, _ = self._reduce(coefficients, None)
+        reduced, _ = self._reduce(gf256.as_vector(coefficients, copy=False), None)
         return bool(reduced.any())
 
     def add(
@@ -163,14 +183,15 @@ class IncrementalDecoder:
         original blocks; *payload* is the coded data (optional, but must be
         consistently present or absent across calls if decoding is desired).
         """
-        vector = gf256.as_vector(coefficients)
+        # copy=False: _reduce copies before mutating, so no defensive copy.
+        vector = gf256.as_vector(coefficients, copy=False)
         if vector.shape != (self.size,):
             raise ValueError(
                 f"coefficient vector has shape {vector.shape}, expected ({self.size},)"
             )
         data: Optional[Vector] = None
         if payload is not None:
-            data = gf256.as_vector(payload)
+            data = gf256.as_vector(payload, copy=False)
             if self.payload_length is None:
                 self.payload_length = int(data.shape[0])
             elif data.shape[0] != self.payload_length:
@@ -193,18 +214,19 @@ class IncrementalDecoder:
             raise ValueError(
                 f"segment not decodable: rank {self.rank} < size {self.size}"
             )
-        payloads = [p for p in self._payloads if p is not None]
-        if len(payloads) != len(self._payloads):
+        payloads = self._payload_matrix
+        if payloads is None or not bool(self._has_payload[: self._rank].all()):
             raise ValueError("cannot decode: coded blocks carried no payloads")
         # Rows are maintained in fully reduced (Gauss-Jordan) form, so after
         # sorting by pivot column the coefficient matrix is the identity and
         # the payloads *are* the original blocks.
-        order = np.argsort(self._pivot_cols)
-        return np.stack([payloads[i] for i in order])
+        order = np.argsort(self._pivot_array[: self._rank])
+        result: Vector = payloads[: self._rank][order].copy()
+        return result
 
     def coefficient_matrix(self) -> Vector:
         """Copy of the current reduced coefficient rows (for inspection)."""
-        return self._rows.copy()
+        return self._matrix[: self._rank].copy()
 
     # -- internals ---------------------------------------------------------
 
@@ -213,15 +235,25 @@ class IncrementalDecoder:
         vector: Vector,
         payload: Optional[Vector],
     ) -> Tuple[Vector, Optional[Vector]]:
-        """Eliminate *vector* (and its payload) against the stored rows."""
+        """Eliminate *vector* (and its payload) against the stored rows.
+
+        One batched gather-scale-XOR pass over all pivot rows.  Gathering
+        the elimination factors up-front is exact because stored rows are
+        mutually reduced (see the module docstring).
+        """
         vec = vector.copy()
         data = payload.copy() if payload is not None else None
-        for row_idx, pivot_col in enumerate(self._pivot_cols):
-            factor = int(vec[pivot_col])
-            if factor:
-                gf256.vec_addmul(vec, self._rows[row_idx], factor)
-                if data is not None and self._payloads[row_idx] is not None:
-                    gf256.vec_addmul(data, self._payloads[row_idx], factor)
+        r = self._rank
+        if r:
+            factors = vec[self._pivot_array[:r]]
+            if factors.any():
+                gf256.vec_addmul_rows(vec, self._matrix[:r], factors)
+                if data is not None and self._payload_matrix is not None:
+                    payload_factors = factors.copy()
+                    payload_factors[~self._has_payload[:r]] = 0
+                    gf256.vec_addmul_rows(
+                        data, self._payload_matrix[:r], payload_factors
+                    )
         return vec, data
 
     def _insert(self, vector: Vector, payload: Optional[Vector]) -> None:
@@ -229,19 +261,33 @@ class IncrementalDecoder:
         pivot_col = int(np.nonzero(vector)[0][0])
         pivot_value = int(vector[pivot_col])
         if pivot_value != 1:
-            inv = gf256.inv(pivot_value)
-            vector = gf256.vec_scale(vector, inv)
+            inverse = gf256.inv(pivot_value)
+            vector = gf256.vec_scale(vector, inverse)
             if payload is not None:
-                payload = gf256.vec_scale(payload, inv)
-        # Back-substitute into existing rows so the basis stays Gauss-Jordan
-        # reduced; this keeps `decode` trivial and `_reduce` single-pass.
-        for row_idx in range(len(self._pivot_cols)):
-            factor = int(self._rows[row_idx, pivot_col])
-            if factor:
-                gf256.vec_addmul(self._rows[row_idx], vector, factor)
-                existing = self._payloads[row_idx]
-                if existing is not None and payload is not None:
-                    gf256.vec_addmul(existing, payload, factor)
-        self._rows = np.vstack([self._rows, vector])
-        self._payloads.append(payload)
+                payload = gf256.vec_scale(payload, inverse)
+        r = self._rank
+        if r:
+            # Back-substitute into existing rows so the basis stays
+            # Gauss-Jordan reduced; this keeps `decode` trivial and
+            # `_reduce` single-pass.  The factor column must be copied
+            # before the in-place update zeroes it.
+            factors = self._matrix[:r, pivot_col].copy()
+            if factors.any():
+                gf256.rows_addmul(self._matrix[:r], vector, factors)
+                if payload is not None and self._payload_matrix is not None:
+                    payload_factors = factors.copy()
+                    payload_factors[~self._has_payload[:r]] = 0
+                    gf256.rows_addmul(
+                        self._payload_matrix[:r], payload, payload_factors
+                    )
+        self._matrix[r] = vector
         self._pivot_cols.append(pivot_col)
+        self._pivot_array[r] = pivot_col
+        if payload is not None:
+            if self._payload_matrix is None:
+                self._payload_matrix = np.zeros(
+                    (self.size, payload.shape[0]), dtype=np.uint8
+                )
+            self._payload_matrix[r] = payload
+            self._has_payload[r] = True
+        self._rank = r + 1

@@ -73,21 +73,21 @@ def recode(
         if not block.is_coded:
             raise ValueError("recode requires explicit coefficient vectors")
     local = _draw_coefficients(rng, len(blocks))
-    coefficients = np.zeros(segment.size, dtype=np.uint8)
-    for scalar, block in zip(local, blocks):
-        if scalar:
-            assert block.coefficients is not None  # guarded by is_coded above
-            gf256.vec_addmul(coefficients, block.coefficients, int(scalar))
+    # One batched gather-XOR over all input rows (vec_addmul_rows) instead
+    # of a Python loop of per-block axpys.
+    header_rows = np.stack(
+        [block.coefficients for block in blocks if block.coefficients is not None]
+    )
+    coefficients = gf256.combine_rows(header_rows, local)
     payload: Optional[Vector] = None
     first_payload = blocks[0].payload
     if first_payload is not None and all(
         block.payload is not None for block in blocks
     ):
-        payload = np.zeros_like(first_payload)
-        for scalar, block in zip(local, blocks):
-            if scalar:
-                assert block.payload is not None  # guarded by all() above
-                gf256.vec_addmul(payload, block.payload, int(scalar))
+        payload_rows = np.stack(
+            [block.payload for block in blocks if block.payload is not None]
+        )
+        payload = gf256.combine_rows(payload_rows, local)
     return CodedBlock(
         segment=segment,
         coefficients=coefficients,
@@ -109,11 +109,7 @@ def encode_from_source(
             f"expected {segment.size} original rows, got {payloads.shape[0]}"
         )
     coefficients = _draw_coefficients(rng, segment.size)
-    payload = np.zeros(payloads.shape[1], dtype=np.uint8)
-    for index in range(segment.size):
-        scalar = int(coefficients[index])
-        if scalar:
-            gf256.vec_addmul(payload, payloads[index], scalar)
+    payload = gf256.combine_rows(payloads, coefficients)
     return CodedBlock(
         segment=segment,
         coefficients=coefficients,

@@ -138,6 +138,7 @@ class DirectCollectionSystem:
                         self._injection_rng,
                         params.arrival_rate,
                         lambda slot=slot: self._generate(slot),
+                        cancellable=False,
                     )
                 )
             else:
@@ -157,6 +158,7 @@ class DirectCollectionSystem:
                     self._server_rng,
                     params.per_server_rate,
                     self._server_pull,
+                    cancellable=False,
                 )
             )
 
@@ -194,7 +196,7 @@ class DirectCollectionSystem:
         if not self.retain_forever:
             ttl = exponential(self._ttl_rng, self.params.deletion_rate)
             generation = peer.generation
-            self.sim.schedule(
+            self.sim.schedule_call(
                 ttl, lambda: self._expire(slot, generation, block)
             )
 
@@ -291,7 +293,7 @@ class DirectCollectionSystem:
             raise ValueError(f"duration must be > 0, got {duration}")
         self.metrics.begin_window(self.sim.now)
         self.sim.run_until(self.sim.now + duration)
-        return self.metrics.report(self.sim.now)
+        return self.metrics.report(self.sim.now, engine=self.sim.perf())
 
     def run_until(self, end_time: float) -> None:
         """Advance raw simulation time without touching metric windows."""

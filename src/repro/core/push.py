@@ -102,6 +102,7 @@ class PushCollectionSystem:
                         self._arrival_rng,
                         params.arrival_rate,
                         self._push_block,
+                        cancellable=False,
                     )
                 )
             else:
@@ -141,7 +142,7 @@ class PushCollectionSystem:
     def _begin_service(self, server: _ServerQueue) -> None:
         server.busy = True
         service_time = exponential(self._service_rng, self.params.per_server_rate)
-        self.sim.schedule(service_time, lambda: self._finish_service(server))
+        self.sim.schedule_call(service_time, lambda: self._finish_service(server))
 
     def _finish_service(self, server: _ServerQueue) -> None:
         arrived_at = server.queue.popleft()
@@ -180,7 +181,7 @@ class PushCollectionSystem:
             raise ValueError(f"duration must be > 0, got {duration}")
         self.metrics.begin_window(self.sim.now)
         self.sim.run_until(self.sim.now + duration)
-        return self.metrics.report(self.sim.now)
+        return self.metrics.report(self.sim.now, engine=self.sim.perf())
 
     def run_until(self, end_time: float) -> None:
         """Advance raw simulation time without touching metric windows."""

@@ -48,7 +48,12 @@ from repro.core.segments import SegmentRegistry, SegmentState
 from repro.core.server import ServerPool
 from repro.faults.injector import FaultInjector
 from repro.sim.churn import ChurnModel
-from repro.sim.engine import PoissonProcess, Simulator, ThinnedPoissonProcess
+from repro.sim.engine import (
+    EnginePerf,
+    PoissonProcess,
+    Simulator,
+    ThinnedPoissonProcess,
+)
 from repro.sim.metrics import MetricsCollector, MetricsReport
 from repro.sim.rng import SeedSequenceRegistry, exponential
 from repro.sim.topology import CompleteTopology, Topology
@@ -304,12 +309,16 @@ class CollectionSystem:
         params = self.params
         for slot in range(params.n_peers):
             if self.workload is None:
+                # Injection and gossip clocks run at a fixed rate for the
+                # lifetime of the system (only shutdown() ever stops them),
+                # so they ride the engine's handle-free fast path.
                 self._processes.append(
                     PoissonProcess(
                         self.sim,
                         self._injection_rng,
                         params.segment_arrival_rate,
                         lambda slot=slot: self._inject(slot),
+                        cancellable=False,
                     )
                 )
             else:
@@ -331,6 +340,7 @@ class CollectionSystem:
                         self._gossip_rng,
                         params.gossip_rate,
                         lambda slot=slot: self.gossip.tick(slot, self.sim.now),
+                        cancellable=False,
                     )
                 )
         for index in range(params.n_servers):
@@ -440,7 +450,8 @@ class CollectionSystem:
         delay = exponential(self._ttl_rng, 1.0 / latency)
         target_slot = peer.slot
         target_generation = peer.generation
-        self.sim.schedule(
+        # Fire-and-forget delivery: handle-free fast path.
+        self.sim.schedule_call(
             delay,
             lambda: self._arrive_gossip_block(
                 target_slot, target_generation, block
@@ -486,7 +497,9 @@ class CollectionSystem:
             self._nonempty.add(peer.slot)
             self.metrics.empty_peers.add(now, -1)
         ttl = exponential(self._ttl_rng, self.params.deletion_rate)
-        self.sim.schedule(ttl, lambda: self._expire_block(peer, block))
+        # TTL expiries are never cancelled (expiry itself checks liveness),
+        # so they ride the handle-free fast path.
+        self.sim.schedule_call(ttl, lambda: self._expire_block(peer, block))
 
     def _expire_block(self, peer: Peer, block: CodedBlock) -> None:
         """TTL expiry: delete the block unless churn already destroyed it."""
@@ -599,18 +612,24 @@ class CollectionSystem:
             raise ValueError(f"duration must be > 0, got {duration}")
         self.metrics.begin_window(self.sim.now)
         self.sim.run_until(self.sim.now + duration)
-        return self.metrics.report(self.sim.now)
+        return self.metrics.report(self.sim.now, engine=self.sim.perf())
 
     def run_until(self, end_time: float) -> None:
         """Advance raw simulation time without touching metric windows."""
         self.sim.run_until(end_time)
 
+    def engine_perf(self) -> "EnginePerf":
+        """Event-engine perf counters for this run (see Simulator.perf)."""
+        return self.sim.perf()
+
     def shutdown(self) -> None:
-        """Cancel every recurring clock (Poisson processes, churn, faults).
+        """Stop every recurring clock (Poisson processes, churn, faults).
 
         Call when a long-lived process runs many systems against shared
-        tooling and wants this one's pending events gone; a shut-down system
-        can still be inspected but will not advance further state.
+        tooling and wants this one's clocks silenced; a shut-down system can
+        still be inspected but will not advance further state.  Fast-path
+        (non-cancellable) clocks may each leave one stale queue entry that
+        drains as a no-op if the simulator is ever run further.
         """
         for process in self._processes:
             process.stop()

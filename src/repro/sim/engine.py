@@ -1,6 +1,6 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event loop: a binary heap of ``(time, sequence, event)``
+A minimal, fast event loop: a binary heap of ``(time, sequence, item)``
 entries with O(log n) scheduling, lazy cancellation, and helpers for the
 Poisson (exponential-clock) processes that make up the entire protocol model
 (segment injection at rate ``lambda/s``, gossip at rate ``mu``, server pulls
@@ -9,6 +9,25 @@ at rate ``c_s``, TTL expiry at rate ``gamma``, churn at rate ``1/L``).
 The engine is deliberately single-threaded and deterministic: given the same
 seeds and the same schedule of calls, two runs produce identical event
 orderings (ties in time are broken by insertion sequence).
+
+Hot-path design.  Two scheduling flavours share one heap:
+
+- :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` allocate an
+  :class:`EventHandle` per event and support cancellation (lazy: cancelled
+  entries are skipped on pop, with the live/cancelled split tracked
+  exactly and the heap compacted in place once cancelled entries dominate);
+- :meth:`Simulator.schedule_call` / :meth:`Simulator.schedule_call_at` are
+  the handle-free fast path for fire-and-forget events (recurring clock
+  fires, TTL expiries, delivery latencies): the heap entry *is* the bare
+  callable — no per-event allocation beyond the tuple.
+
+``run_until`` additionally batch-drains the heap: when many entries are due
+before the horizon, one linear partition + ``sort`` replaces thousands of
+``heappop`` sift-downs (an order-of-magnitude cheaper in CPython), while a
+per-event peek at the heap head keeps events scheduled *during* the batch
+correctly interleaved.  Event order — (time, insertion sequence) — is
+byte-identical to the classic pop loop, so the determinism contract
+(``docs/LINTING.md``: same seed, same event order) is unaffected.
 """
 
 from __future__ import annotations
@@ -17,27 +36,75 @@ import heapq
 import itertools
 import math
 import random
-from typing import Callable, List, Optional, Tuple
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.sim.rng import exponential
 
 Action = Callable[[], None]
 
+#: Minimum number of due entries for which a batch drain beats popping.
+_BATCH_MIN = 64
+#: Compaction trigger: cancelled entries both exceed this floor and make up
+#: more than half the heap.
+_COMPACT_MIN = 256
+
 
 class EventHandle:
     """Cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "action", "cancelled")
+    __slots__ = ("time", "action", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, action: Optional[Action]) -> None:
+    def __init__(
+        self,
+        time: float,
+        action: Optional[Action],
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.time = time
         self.action = action
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped when popped."""
+        """Mark the event as cancelled; it will be skipped when popped.
+
+        A no-op on handles that already fired or were already cancelled, so
+        keeping a handle around after its event ran is always safe.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
         self.action = None  # break reference cycles early
+        if self._sim is not None:
+            self._sim._note_cancelled()
+
+
+#: A heap entry: cancellable events carry an EventHandle, fast-path events
+#: carry the bare callable.  The sequence number is unique, so tuple
+#: comparison never reaches the third element.
+_Entry = Tuple[float, int, Union[EventHandle, Action]]
+
+
+@dataclass(frozen=True)
+class EnginePerf:
+    """Engine-level performance counters (a consistent snapshot).
+
+    All fields except ``wall_time`` are deterministic functions of the
+    schedule, so they are safe to embed in reports that same-seed runs
+    byte-compare; ``wall_time`` (seconds spent inside ``run_until``) is
+    host-dependent diagnostics and must stay out of such reports.
+    """
+
+    events_fired: int
+    events_cancelled: int
+    pending_live: int
+    pending_cancelled: int
+    heap_compactions: int
+    run_until_calls: int
+    wall_time: float
 
 
 class Simulator:
@@ -52,26 +119,62 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._heap: List[_Entry] = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self._stopped = False
+        self._in_run = False
+        # Lazy-cancellation accounting: exact count of cancelled-but-not-yet
+        # collected entries (heap + current batch run).
+        self._cancelled_pending = 0
+        self._events_cancelled = 0
+        self._heap_compactions = 0
+        self._run_until_calls = 0
+        self._wall_time = 0.0
+        # Sorted run of due entries being drained by the current run_until
+        # call; kept on the instance so `pending` stays exact mid-batch.
+        self._ready: List[_Entry] = []
+        self._ready_pos = 0
 
     @property
     def events_processed(self) -> int:
-        """Total events executed so far (diagnostics and perf accounting)."""
+        """Total events executed in completed ``run_until`` calls."""
         return self._events_processed
 
     @property
     def pending(self) -> int:
-        """Events still queued, including not-yet-collected cancelled ones."""
-        return len(self._heap)
+        """*Live* events still queued (cancelled entries are excluded)."""
+        return (
+            len(self._heap)
+            + len(self._ready)
+            - self._ready_pos
+            - self._cancelled_pending
+        )
+
+    @property
+    def pending_cancelled(self) -> int:
+        """Cancelled entries not yet collected from the queue."""
+        return self._cancelled_pending
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total events ever cancelled."""
+        return self._events_cancelled
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the heap was compacted to evict cancelled entries."""
+        return self._heap_compactions
 
     def schedule(self, delay: float, action: Action) -> EventHandle:
         """Run *action* after *delay* time units; returns a cancellable handle."""
-        if not math.isfinite(delay) or delay < 0:
+        # Single chained comparison: False for negative, NaN, and inf alike.
+        if not 0.0 <= delay < math.inf:
             raise ValueError(f"delay must be finite and >= 0, got {delay!r}")
-        return self.schedule_at(self.now + delay, action)
+        time = self.now + delay
+        handle = EventHandle(time, action, self)
+        heapq.heappush(self._heap, (time, next(self._sequence), handle))
+        return handle
 
     def schedule_at(self, time: float, action: Action) -> EventHandle:
         """Run *action* at absolute *time* (>= now)."""
@@ -81,13 +184,49 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past: t={time} < now={self.now}"
             )
-        handle = EventHandle(time, action)
+        handle = EventHandle(time, action, self)
         heapq.heappush(self._heap, (time, next(self._sequence), handle))
         return handle
+
+    def schedule_call(self, delay: float, action: Action) -> None:
+        """Handle-free fast path: run *action* after *delay*, no cancellation.
+
+        Identical ordering semantics to :meth:`schedule`, but the heap entry
+        is the bare callable — no :class:`EventHandle` allocation.  Use it
+        for fire-and-forget events (clock fires, TTL expiries, latencies)
+        whose handle would be dropped anyway.
+        """
+        if not 0.0 <= delay < math.inf:
+            raise ValueError(f"delay must be finite and >= 0, got {delay!r}")
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._sequence), action)
+        )
+
+    def schedule_call_at(self, time: float, action: Action) -> None:
+        """Absolute-time variant of :meth:`schedule_call`."""
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), action))
 
     def stop(self) -> None:
         """Request the current ``run_until`` call to return after this event."""
         self._stopped = True
+
+    def perf(self) -> EnginePerf:
+        """Snapshot of the engine's performance counters."""
+        return EnginePerf(
+            events_fired=self._events_processed,
+            events_cancelled=self._events_cancelled,
+            pending_live=self.pending,
+            pending_cancelled=self._cancelled_pending,
+            heap_compactions=self._heap_compactions,
+            run_until_calls=self._run_until_calls,
+            wall_time=self._wall_time,
+        )
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
         """Execute events with time <= *end_time* in order; advance the clock.
@@ -95,37 +234,147 @@ class Simulator:
         Returns the number of events executed.  The clock lands exactly on
         *end_time* when the queue drains or only later events remain, so
         time-integrated metrics always cover the full horizon.  *max_events*
-        is a safety valve for runaway schedules (raises RuntimeError).
+        is a safety valve for runaway schedules (raises RuntimeError); it
+        counts every queue pop — including lazily-cancelled entries being
+        discarded — so cancellation churn cannot starve the valve.
         """
         if end_time < self.now:
             raise ValueError(f"end_time {end_time} is before now {self.now}")
+        if self._in_run:
+            raise RuntimeError("run_until is not re-entrant")
+        self._in_run = True
         executed = 0
+        popped = 0
+        limit = math.inf if max_events is None else max_events
         self._stopped = False
+        self._run_until_calls += 1
         heap = self._heap
-        while heap:
-            time, _, handle = heap[0]
-            if time > end_time:
-                break
-            heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            self.now = time
-            action = handle.action
-            handle.action = None
-            assert action is not None  # only cancel() clears a live action
-            action()
-            executed += 1
-            self._events_processed += 1
-            if self._stopped:
-                # Leave the clock at the stopping event's time.
-                return executed
-            if max_events is not None and executed >= max_events:
-                raise RuntimeError(
-                    f"run_until executed {executed} events without reaching "
-                    f"t={end_time}; runaway schedule?"
-                )
-        self.now = end_time
-        return executed
+        ready = self._ready
+        # Wall-time is diagnostics only (EnginePerf); it never feeds
+        # simulation state, reports that runs byte-compare, or traces.
+        wall_start = _time.perf_counter()  # lint: ok(R2): perf diagnostics only, never enters simulation state or compared reports
+        allow_batch = True
+        # `pos`/`ready_len` shadow self._ready_pos/len(ready) inside the hot
+        # loop; self._ready_pos is re-synced before every observation point
+        # (action call or raise) so `pending` and the push-back in `finally`
+        # always see an exact position.
+        pos = 0
+        ready_len = 0
+        try:
+            while True:
+                if pos >= ready_len:
+                    # Refill: batch-drain every due entry when the scan can
+                    # amortize (one partition + sort instead of thousands of
+                    # heappop sift-downs), else fall back to a single pop.
+                    # One undersized scan disables batching for the rest of
+                    # this call, bounding wasted scans.
+                    del ready[:]
+                    pos = 0
+                    self._ready_pos = 0
+                    if not heap:
+                        break
+                    if allow_batch and len(heap) >= _BATCH_MIN:
+                        due = [entry for entry in heap if entry[0] <= end_time]
+                        if len(due) >= _BATCH_MIN:
+                            heap[:] = [
+                                entry for entry in heap if entry[0] > end_time
+                            ]
+                            heapq.heapify(heap)
+                            due.sort()
+                            ready.extend(due)
+                        else:
+                            allow_batch = False
+                    if not ready:
+                        if heap[0][0] > end_time:
+                            break
+                        ready.append(heapq.heappop(heap))
+                    ready_len = len(ready)
+                # Events scheduled during the batch live in the heap; run
+                # whichever of (heap head, next ready entry) is earlier.
+                # The sequence number breaks ties exactly as a pure heap
+                # would, so interleaving preserves deterministic order.
+                entry = ready[pos]
+                if heap and heap[0] < entry:
+                    entry = heapq.heappop(heap)
+                else:
+                    pos += 1
+                event_time, _, item = entry
+                popped += 1
+                action: Optional[Action]
+                if type(item) is EventHandle:
+                    if item.cancelled:
+                        self._cancelled_pending -= 1
+                        if popped >= limit:
+                            self._ready_pos = pos
+                            raise RuntimeError(
+                                f"run_until popped {popped} events without "
+                                f"reaching t={end_time}; runaway schedule?"
+                            )
+                        continue
+                    action = item.action
+                    item.action = None
+                    item.fired = True
+                    assert action is not None  # only cancel() clears a live action
+                else:
+                    action = item  # type: ignore[assignment]
+                self._ready_pos = pos
+                self.now = event_time
+                action()
+                executed += 1
+                if self._stopped:
+                    # Leave the clock at the stopping event's time.
+                    return executed
+                if popped >= limit:
+                    raise RuntimeError(
+                        f"run_until popped {popped} events without reaching "
+                        f"t={end_time}; runaway schedule?"
+                    )
+            self.now = end_time
+            return executed
+        finally:
+            # stop(), max_events, or an action raising can leave part of the
+            # sorted run unconsumed — push it back so no event is lost.
+            if self._ready_pos < len(ready):
+                for entry in ready[self._ready_pos :]:
+                    heapq.heappush(heap, entry)
+            del ready[:]
+            self._ready_pos = 0
+            self._events_processed += executed
+            self._in_run = False
+            self._wall_time += _time.perf_counter() - wall_start  # lint: ok(R2): perf diagnostics only, never enters simulation state or compared reports
+
+    # -- internals ---------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Account one newly-cancelled entry; compact when they dominate."""
+        self._events_cancelled += 1
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > _COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Evict cancelled entries from the heap in place.
+
+        Mutates ``self._heap`` via slice assignment so aliases held by a
+        running ``run_until`` stay valid.  Entries parked in the current
+        batch run are collected by the drain loop instead.
+        """
+        heap = self._heap
+        kept = [
+            entry
+            for entry in heap
+            if not (type(entry[2]) is EventHandle and entry[2].cancelled)
+        ]
+        removed = len(heap) - len(kept)
+        if not removed:
+            return
+        heap[:] = kept
+        heapq.heapify(heap)
+        self._cancelled_pending -= removed
+        self._heap_compactions += 1
 
 
 class PoissonProcess:
@@ -136,6 +385,22 @@ class PoissonProcess:
     memorylessness of the exponential clock, simply means the *next* gap is
     drawn at the new rate.  A rate of 0 parks the process until a positive
     rate is set again.
+
+    Perf knobs:
+
+    - ``cancellable=False`` uses the simulator's handle-free fast path (no
+      :class:`EventHandle` allocation per fire).  Restriction: a scheduled
+      fire cannot be revoked, so ``set_rate`` on an *armed* non-cancellable
+      clock raises, and after ``stop()`` the stale fire must drain (as a
+      no-op) before ``start()`` is allowed again.  Use it for clocks that
+      run at a fixed rate until the end of the simulation (the common case:
+      per-peer injection and gossip clocks).
+    - ``gap_batch=k`` pre-draws ``k`` exponential gaps at a time,
+      amortizing draw overhead.  The per-stream draw *sequence* is
+      unchanged, but draws are consumed from the RNG earlier than the fires
+      they time, so this is only deterministic when the process owns its
+      RNG stream exclusively — never enable it on a shared substream.
+      ``set_rate`` discards undrawn gaps (memorylessness at the new rate).
     """
 
     def __init__(
@@ -145,15 +410,29 @@ class PoissonProcess:
         rate: float,
         action: Action,
         start: bool = True,
+        cancellable: bool = True,
+        gap_batch: int = 1,
     ) -> None:
         if rate < 0 or not math.isfinite(rate):
             raise ValueError(f"rate must be finite and >= 0, got {rate!r}")
+        if gap_batch < 1:
+            raise ValueError(f"gap_batch must be >= 1, got {gap_batch!r}")
         self._sim = sim
         self._rng = rng
         self._rate = rate
         self._action = action
         self._handle: Optional[EventHandle] = None
         self._running = False
+        self._cancellable = cancellable
+        self._gap_batch = gap_batch
+        self._gap_buffer: List[float] = []
+        # Fast-path state: is a handle-free fire queued, and how many stale
+        # (post-stop) fires are still in the queue as pending no-ops?
+        self._armed = False
+        self._dead_pending = 0
+        # Per-clock perf counters.
+        self.events_fired = 0
+        self.events_cancelled = 0
         if start:
             self.start()
 
@@ -171,39 +450,81 @@ class PoissonProcess:
         """Arm the clock (no-op if already running)."""
         if self._running:
             return
+        if self._dead_pending:
+            raise RuntimeError(
+                "cannot restart a non-cancellable clock while a stale fire "
+                "is still queued; run the simulator past it first"
+            )
         self._running = True
         self._arm()
 
     def stop(self) -> None:
-        """Disarm the clock; pending fire is cancelled."""
+        """Disarm the clock; a pending fire is cancelled (or, on the
+        non-cancellable fast path, left to drain as a no-op)."""
         self._running = False
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+            self.events_cancelled += 1
+        if self._armed:
+            self._armed = False
+            self._dead_pending += 1
 
     def set_rate(self, rate: float) -> None:
         """Change the firing rate, rescheduling the next fire accordingly."""
         if rate < 0 or not math.isfinite(rate):
             raise ValueError(f"rate must be finite and >= 0, got {rate!r}")
+        if self._armed:
+            raise RuntimeError(
+                "set_rate on an armed non-cancellable clock is not "
+                "supported; construct the process with cancellable=True"
+            )
         self._rate = rate
+        del self._gap_buffer[:]  # memorylessness: re-draw at the new rate
         if self._running:
             if self._handle is not None:
                 self._handle.cancel()
                 self._handle = None
+                self.events_cancelled += 1
             self._arm()
+
+    def _next_gap(self) -> float:
+        if self._gap_batch <= 1:
+            return exponential(self._rng, self._rate)
+        buffer = self._gap_buffer
+        if not buffer:
+            rng = self._rng
+            rate = self._rate
+            buffer.extend(
+                exponential(rng, rate) for _ in range(self._gap_batch)
+            )
+            buffer.reverse()  # consume in draw order via O(1) pops
+        return buffer.pop()
 
     def _arm(self) -> None:
         if not self._running or self._rate <= 0:
             return
-        gap = exponential(self._rng, self._rate)
+        gap = self._next_gap()
         if not math.isfinite(gap):
             # A subnormal rate can overflow expovariate to infinity; such a
             # clock will effectively never fire — park it (set_rate re-arms).
             return
-        self._handle = self._sim.schedule(gap, self._fire)
+        if self._cancellable:
+            self._handle = self._sim.schedule(gap, self._fire)
+        else:
+            self._sim.schedule_call(gap, self._fire)
+            self._armed = True
 
     def _fire(self) -> None:
-        self._handle = None
+        if self._cancellable:
+            self._handle = None
+        else:
+            if not self._running:
+                # Stale fast-path fire from before stop(); drain silently.
+                self._dead_pending -= 1
+                return
+            self._armed = False
+        self.events_fired += 1
         # Re-arm before running the action so the action may stop/retime the
         # process and have that take effect immediately.
         self._arm()

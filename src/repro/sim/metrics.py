@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.sim.engine import EnginePerf
 from repro.util.summary import percentile
 
 
@@ -131,6 +132,12 @@ class MetricsReport:
     blocks_rejected_polluted: int
     burst_departures: int
     outage_time: float
+    # event-engine perf counters (deterministic functions of the schedule,
+    # so safe under the same-seed byte-compare contract; wall time is *not*
+    # included here by design — see EnginePerf)
+    engine_events_fired: int = 0
+    engine_events_cancelled: int = 0
+    engine_heap_compactions: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat numeric dict (None delays become NaN) for aggregation."""
@@ -260,8 +267,15 @@ class MetricsCollector:
 
     # -- report -------------------------------------------------------------
 
-    def report(self, now: float) -> MetricsReport:
-        """Freeze the measurement window into an immutable report."""
+    def report(
+        self, now: float, engine: Optional["EnginePerf"] = None
+    ) -> MetricsReport:
+        """Freeze the measurement window into an immutable report.
+
+        *engine*, when provided (see :meth:`Simulator.perf`), embeds the
+        deterministic event-engine counters; its host-dependent wall time is
+        deliberately left out so same-seed reports stay byte-identical.
+        """
         window = max(now - self._window_start, 0.0)
         n = self.n_peers
         pulls = self.pulls.window
@@ -340,6 +354,9 @@ class MetricsCollector:
             blocks_rejected_polluted=self.blocks_rejected_polluted.window,
             burst_departures=self.burst_departures.window,
             outage_time=self.servers_down.average(now) * window,
+            engine_events_fired=engine.events_fired if engine else 0,
+            engine_events_cancelled=engine.events_cancelled if engine else 0,
+            engine_heap_compactions=engine.heap_compactions if engine else 0,
         )
 
     #: Set by the system so storage overhead (rho - lambda/gamma) can be

@@ -162,7 +162,8 @@ class TestSimulator:
 
     def test_cancelled_events_drain_from_heap(self):
         """Lazily-cancelled entries are popped and skipped, not executed,
-        and the heap empties out."""
+        and the heap empties out.  `pending` reports *live* events only;
+        the cancelled-but-uncollected backlog is reported separately."""
         sim = Simulator()
         fired = []
         handles = [
@@ -170,11 +171,263 @@ class TestSimulator:
         ]
         for handle in handles[::2]:
             handle.cancel()
-        assert sim.pending == 10
+        assert sim.pending == 5
+        assert sim.pending_cancelled == 5
+        assert sim.events_cancelled == 5
         executed = sim.run_until(2.0)
         assert executed == 5
         assert fired == [1, 3, 5, 7, 9]
         assert sim.pending == 0
+        assert sim.pending_cancelled == 0
+
+
+class TestFastPathScheduling:
+    def test_schedule_call_runs_in_order_with_handles(self):
+        """Handle-free and handle-carrying events share one deterministic
+        (time, insertion-sequence) order."""
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("h1"))
+        sim.schedule_call(1.0, lambda: order.append("c1"))
+        sim.schedule(1.0, lambda: order.append("h2"))
+        sim.schedule_call(0.5, lambda: order.append("c0"))
+        sim.run_until(2.0)
+        assert order == ["c0", "h1", "c1", "h2"]
+
+    def test_schedule_call_validation(self):
+        sim = Simulator()
+        for bad in (-1.0, math.nan, math.inf):
+            with pytest.raises(ValueError):
+                sim.schedule_call(bad, lambda: None)
+        sim.run_until(2.0)
+        with pytest.raises(ValueError):
+            sim.schedule_call_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_call_at(math.inf, lambda: None)
+
+    def test_batch_drain_matches_classic_order(self, monkeypatch):
+        """The sorted-batch drain must execute the exact event order of a
+        pure pop loop, including ties and events scheduled mid-run."""
+
+        def run(force_classic):
+            import repro.sim.engine as engine_mod
+
+            if force_classic:
+                monkeypatch.setattr(engine_mod, "_BATCH_MIN", 10**9)
+            else:
+                monkeypatch.setattr(engine_mod, "_BATCH_MIN", 8)
+            sim = Simulator()
+            order = []
+            rng = random.Random(99)
+            for index in range(300):
+                t = rng.choice([0.5, 1.0, 1.5, 2.0, 2.5])
+
+                def make(idx=index, at=t):
+                    def act():
+                        order.append((sim.now, idx))
+                        # handlers keep scheduling into the current batch
+                        if idx % 7 == 0:
+                            sim.schedule_call(
+                                0.0, lambda: order.append((sim.now, -idx))
+                            )
+                    return act
+
+                if index % 3 == 0:
+                    sim.schedule(t, make())
+                else:
+                    sim.schedule_call(t, make())
+            sim.run_until(3.0)
+            return order
+
+        assert run(force_classic=False) == run(force_classic=True)
+
+    def test_stop_mid_batch_preserves_remaining_events(self):
+        sim = Simulator()
+        fired = []
+        for index in range(200):
+            if index == 99:
+                sim.schedule_call(
+                    float(index), lambda: (fired.append(99), sim.stop())
+                )
+            else:
+                sim.schedule_call(float(index), lambda i=index: fired.append(i))
+        executed = sim.run_until(1000.0)
+        assert executed == 100
+        assert sim.now == 99.0
+        assert sim.pending == 100
+        sim.run_until(1000.0)
+        assert fired == list(range(200))
+        assert sim.pending == 0
+
+    def test_exception_mid_batch_preserves_remaining_events(self):
+        sim = Simulator()
+        fired = []
+
+        def boom():
+            raise RuntimeError("boom")
+
+        for index in range(200):
+            if index == 50:
+                sim.schedule_call(float(index), boom)
+            else:
+                sim.schedule_call(float(index), lambda i=index: fired.append(i))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run_until(1000.0)
+        assert sim.pending == 149
+        sim.run_until(1000.0)
+        assert fired == [i for i in range(200) if i != 50]
+
+    def test_run_until_is_not_reentrant(self):
+        sim = Simulator()
+        sim.schedule_call(1.0, lambda: sim.run_until(5.0))
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            sim.run_until(2.0)
+
+
+class TestCancellationAccounting:
+    def test_max_events_counts_cancelled_pops(self):
+        """The runaway valve must see lazily-cancelled entries being
+        discarded, so cancellation churn cannot starve it."""
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        with pytest.raises(RuntimeError, match="runaway"):
+            sim.run_until(2.0, max_events=100)
+
+    def test_set_rate_churn_keeps_heap_bounded(self):
+        """Heavy set_rate churn used to grow the heap without bound; the
+        compactor must keep the cancelled backlog capped."""
+        sim = Simulator()
+        process = PoissonProcess(
+            sim, random.Random(8), rate=1.0, action=lambda: None
+        )
+        for index in range(5000):
+            process.set_rate(1.0 + (index % 7))
+        assert sim.events_cancelled >= 5000
+        assert sim.heap_compactions > 0
+        # bounded backlog: far below the 5000 cancellations issued
+        assert sim.pending_cancelled <= 600
+        assert sim.pending == 1  # exactly the one live armed fire
+
+    def test_perf_snapshot(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        sim.schedule_call(2.0, lambda: None)
+        sim.run_until(3.0)
+        perf = sim.perf()
+        assert perf.events_fired == 1
+        assert perf.events_cancelled == 1
+        assert perf.pending_live == 0
+        assert perf.pending_cancelled == 0
+        assert perf.run_until_calls == 1
+        assert perf.wall_time >= 0.0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        sim.run_until(2.0)
+        handle.cancel()
+        assert fired == [1]
+        assert not handle.cancelled
+        assert sim.events_cancelled == 0
+        assert sim.pending_cancelled == 0
+
+
+class TestNonCancellableClock:
+    def test_fires_at_requested_rate(self):
+        sim = Simulator()
+        fires = []
+        PoissonProcess(
+            sim,
+            random.Random(21),
+            rate=50.0,
+            action=lambda: fires.append(sim.now),
+            cancellable=False,
+        )
+        sim.run_until(20.0)
+        assert abs(len(fires) / 20.0 - 50.0) / 50.0 < 0.1
+        assert sim.pending_cancelled == 0  # no handles, nothing to cancel
+
+    def test_stop_leaves_stale_fire_that_drains_as_noop(self):
+        sim = Simulator()
+        fires = []
+        process = PoissonProcess(
+            sim,
+            random.Random(2),
+            rate=1.0,
+            action=lambda: fires.append(sim.now),
+            cancellable=False,
+        )
+        process.stop()
+        with pytest.raises(RuntimeError, match="stale fire"):
+            process.start()
+        sim.run_until(100.0)  # drain the stale entry (fires nothing)
+        assert not fires
+        process.start()
+        sim.run_until(200.0)
+        assert fires  # restart works once the stale fire drained
+
+    def test_set_rate_on_armed_clock_raises(self):
+        sim = Simulator()
+        process = PoissonProcess(
+            sim,
+            random.Random(2),
+            rate=1.0,
+            action=lambda: None,
+            cancellable=False,
+        )
+        with pytest.raises(RuntimeError, match="non-cancellable"):
+            process.set_rate(2.0)
+
+    def test_set_rate_on_parked_clock_recovers(self):
+        sim = Simulator()
+        fires = []
+        process = PoissonProcess(
+            sim,
+            random.Random(2),
+            rate=0.0,
+            action=lambda: fires.append(1),
+            cancellable=False,
+        )
+        process.set_rate(100.0)  # parked, not armed: retiming is legal
+        sim.run_until(1.0)
+        assert fires
+
+    def test_gap_batch_preserves_fire_times_on_exclusive_stream(self):
+        def fire_times(gap_batch):
+            sim = Simulator()
+            fires = []
+            PoissonProcess(
+                sim,
+                random.Random(77),  # exclusive stream
+                rate=10.0,
+                action=lambda: fires.append(sim.now),
+                gap_batch=gap_batch,
+            )
+            sim.run_until(50.0)
+            return fires
+
+        assert fire_times(1) == fire_times(16)
+
+    def test_gap_batch_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PoissonProcess(
+                sim, random.Random(0), rate=1.0, action=lambda: None, gap_batch=0
+            )
+
+    def test_per_clock_counters(self):
+        sim = Simulator()
+        process = PoissonProcess(
+            sim, random.Random(4), rate=100.0, action=lambda: None
+        )
+        sim.run_until(1.0)
+        assert process.events_fired > 0
+        process.set_rate(50.0)
+        assert process.events_cancelled == 1
 
 
 class TestPoissonProcess:
