@@ -1,0 +1,72 @@
+"""Runner task-throughput microbenchmarks.
+
+How much does the sweep orchestrator itself cost?  The synthetic grid's
+cells are near-free arithmetic, so these numbers isolate the runner's
+overhead — worker dispatch, pipe round-trips, journal writes, merge — from
+simulation time.  ``scripts/bench_compare.py`` diffs them against
+``BENCH_baseline.json`` like every other benchmark.
+"""
+
+import itertools
+
+from repro.experiments.base import SimBudget
+from repro.runner import RunJournal, RunSpec, execute_run, synthetic_options
+
+#: The synthetic cells ignore the budget; any resolved one will do.
+_BUDGET = SimBudget(n_peers=10, warmup=0.0, duration=1.0, seeds=(1,),
+                    n_servers=1)
+_N_TASKS = 32
+
+_run_counter = itertools.count()
+
+
+def _spec() -> RunSpec:
+    return RunSpec.create(
+        "synthetic-grid", "fast", _BUDGET, synthetic_options(_N_TASKS)
+    )
+
+
+def test_bench_runner_serial_grid(benchmark, tmp_path):
+    """Task-grid overhead alone: build + run_serial, no pool, no journal."""
+    spec = _spec()
+
+    def run_serial():
+        return spec.build_plan().run_serial()
+
+    result = benchmark.pedantic(run_serial, rounds=5, iterations=1)
+    assert len(result.x_values) == _N_TASKS
+
+
+def test_bench_runner_pool_throughput(benchmark, tmp_path):
+    """Full orchestration of 32 trivial cells on a 2-worker pool.
+
+    Dominated by worker spawn + per-task pipe round-trips + atomic journal
+    writes — the fixed cost every sharded sweep pays on top of simulation.
+    """
+    spec = _spec()
+
+    def run_pool():
+        run_id = f"bench-{next(_run_counter):04d}"
+        return execute_run(
+            spec, workers=2, runs_dir=tmp_path, run_id=run_id
+        )
+
+    outcome = benchmark.pedantic(run_pool, rounds=3, iterations=1)
+    assert outcome.complete and outcome.total_tasks == _N_TASKS
+
+
+def test_bench_runner_journal_record(benchmark, tmp_path):
+    """Atomic task-record writes: the durability cost per completed cell."""
+    spec = _spec()
+    task_ids = [f"cell={i:04d}" for i in range(_N_TASKS)]
+    journal = RunJournal.create(tmp_path / "journal", spec, task_ids)
+    payload = {"index": 3, "value": 19.0}
+    ticket = itertools.count()
+
+    def record_one():
+        journal.record_task(
+            next(ticket) % 100000, "cell=0003", payload,
+            attempts=1, elapsed=0.01,
+        )
+
+    benchmark(record_one)

@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
 """Inject benchmark tables into EXPERIMENTS.md.
 
-Reads the console log of a benchmark run (``REPRO_BENCH_QUALITY=full pytest
-benchmarks/ --benchmark-only -s | tee bench_full_output.txt``), extracts
-each experiment's printed table, and substitutes it into the matching
+Two input modes, selected by what the first argument points at:
+
+- **console log** (legacy): the output of a benchmark run
+  (``REPRO_BENCH_QUALITY=full pytest benchmarks/ --benchmark-only -s |
+  tee bench_full_output.txt``);
+- **directory** of archived series JSON: either the legacy flat
+  ``results/`` layout (``results/fig3.json`` ...), a single runner run
+  directory (``runs/fig5-001/`` containing ``result.json``), or a parent
+  ``runs/`` directory (every child run's ``result.json`` is collected;
+  the newest run wins when an experiment appears more than once).  The
+  tables are re-rendered from the JSON through ``SeriesResult.to_table``,
+  so both execution paths keep feeding the same doc.
+
+Each experiment's table is substituted into the matching
 ``<!-- NAME_TABLE -->`` placeholder of EXPERIMENTS.md (or refreshes a
 previously injected block).
 
-Usage:  python scripts/update_experiments_md.py [log_path] [experiments_md]
+Usage:  python scripts/update_experiments_md.py [log_or_dir] [experiments_md]
 """
 
 from __future__ import annotations
@@ -15,6 +26,7 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
+from typing import Dict, List
 
 #: placeholder -> regex matching the table's title line in the log
 TABLE_TITLES = {
@@ -65,6 +77,48 @@ def extract_table(log_lines: list, title_pattern: str) -> str:
     return "\n".join(block).rstrip()
 
 
+def _result_files(root: Path) -> List[Path]:
+    """Series-JSON files under *root*, newest-run-last so later wins.
+
+    Recognizes, in order: a single run directory (``result.json``
+    present), a parent of run directories (children with
+    ``manifest.json``), and the legacy flat ``results/*.json`` layout.
+    """
+    if (root / "result.json").is_file():
+        return [root / "result.json"]
+    run_results = sorted(
+        child / "result.json"
+        for child in root.iterdir()
+        if child.is_dir() and (child / "manifest.json").is_file()
+        and (child / "result.json").is_file()
+    )
+    if run_results:
+        return run_results
+    return sorted(path for path in root.glob("*.json") if path.is_file())
+
+
+def render_directory(root: Path) -> List[str]:
+    """Re-render every archived series under *root* as console lines."""
+    repo_src = Path(__file__).resolve().parents[1] / "src"
+    if repo_src.is_dir() and str(repo_src) not in sys.path:
+        sys.path.insert(0, str(repo_src))
+    from repro.experiments import SeriesResult
+
+    tables: Dict[str, str] = {}
+    for path in _result_files(root):
+        try:
+            result = SeriesResult.from_json(path.read_text())
+        except (ValueError, KeyError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            continue
+        tables[result.name] = result.to_table()
+    lines: List[str] = []
+    for table in tables.values():
+        lines.extend(table.splitlines())
+        lines.append("")
+    return lines
+
+
 def inject(markdown: str, name: str, table: str) -> str:
     """Replace the placeholder (or an earlier injected block) for *name*."""
     placeholder = f"<!-- {name} -->"
@@ -81,9 +135,12 @@ def inject(markdown: str, name: str, table: str) -> str:
 
 
 def main(argv: list) -> int:
-    log_path = Path(argv[1]) if len(argv) > 1 else Path("bench_full_output.txt")
+    source = Path(argv[1]) if len(argv) > 1 else Path("bench_full_output.txt")
     md_path = Path(argv[2]) if len(argv) > 2 else Path("EXPERIMENTS.md")
-    log_lines = log_path.read_text().splitlines()
+    if source.is_dir():
+        log_lines = render_directory(source)
+    else:
+        log_lines = source.read_text().splitlines()
     markdown = md_path.read_text()
     missing = []
     for name, title_pattern in TABLE_TITLES.items():
@@ -96,7 +153,7 @@ def main(argv: list) -> int:
     injected = len(TABLE_TITLES) - len(missing)
     print(f"injected {injected} tables into {md_path}")
     if missing:
-        print(f"not found in {log_path}: {', '.join(missing)}")
+        print(f"not found in {source}: {', '.join(missing)}")
     return 0
 
 

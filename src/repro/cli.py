@@ -6,6 +6,14 @@ terminal and optionally writes the series to JSON::
     repro fig3 --quality fast
     repro fig5 --quality full --json results/fig5.json
     repro all --quality fast
+    repro fig4 --seeds 1,2,3,4          # override the preset seed list
+
+The parallel sweep runner executes the same experiments as sharded task
+grids on a worker pool, journaling each cell for checkpoint/resume (see
+``docs/RUNNER.md``)::
+
+    repro run fig5 --quality fast --workers 4
+    repro run fig5 --workers 4 --resume fig5-001
 
 The static determinism checker is exposed as a subcommand (see
 ``docs/LINTING.md``)::
@@ -24,6 +32,10 @@ from repro.experiments import (
     QUALITY_FAST,
     QUALITY_FULL,
     SeriesResult,
+    SimBudget,
+    budget_for,
+    override_budget,
+    parse_seeds,
     run_baseline_comparison,
     run_buffer_ablation,
     run_coding_ablation,
@@ -57,6 +69,57 @@ RUNNERS: Dict[str, Callable[..., SeriesResult]] = {
     "ablation-topology": run_topology_ablation,
 }
 
+#: Exit code when a runner session checkpoints before the grid completes
+#: (``--stop-after``): the run is resumable, not failed.
+EXIT_CHECKPOINTED = 3
+
+
+def _add_budget_overrides(parser: argparse.ArgumentParser) -> None:
+    """Budget-override flags shared by the legacy and runner paths."""
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="N,N,...",
+        help=(
+            "comma-separated replication seeds overriding the quality "
+            "preset (e.g. '--seeds 1,2,3'; duplicates are rejected)"
+        ),
+    )
+    parser.add_argument(
+        "--n-peers", type=int, default=None, metavar="N",
+        help="override the preset peer population",
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=None, metavar="T",
+        help="override the preset warmup interval",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="T",
+        help="override the preset measurement interval",
+    )
+    parser.add_argument(
+        "--n-servers", type=int, default=None, metavar="N",
+        help="override the preset server count",
+    )
+
+
+def _resolve_budget(args: argparse.Namespace) -> Optional[SimBudget]:
+    """Apply any budget-override flags; ``None`` means 'use the preset'."""
+    seeds = parse_seeds(args.seeds) if args.seeds is not None else None
+    overrides = (
+        seeds, args.n_peers, args.warmup, args.duration, args.n_servers
+    )
+    if all(value is None for value in overrides):
+        return None
+    return override_budget(
+        budget_for(args.quality),
+        seeds=seeds,
+        n_peers=args.n_peers,
+        warmup=args.warmup,
+        duration=args.duration,
+        n_servers=args.n_servers,
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
@@ -72,7 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(RUNNERS) + ["all"],
         help=(
             "which figure/ablation to regenerate ('all' runs everything); "
-            "'repro lint' runs the static determinism checker"
+            "'repro lint' runs the static determinism checker; 'repro run' "
+            "drives the parallel sweep runner"
         ),
     )
     parser.add_argument(
@@ -88,15 +152,159 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the series to a JSON file (or directory for 'all')",
     )
+    _add_budget_overrides(parser)
     return parser
 
 
-def run_experiment(name: str, quality: str) -> SeriesResult:
+def build_run_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro run`` subcommand (the parallel runner)."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "Execute one experiment as a sharded task grid on a worker "
+            "pool with checkpoint/resume; results are byte-identical to "
+            "the serial path (docs/RUNNER.md)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (as in 'repro <experiment>')",
+    )
+    parser.add_argument(
+        "--quality",
+        choices=[QUALITY_FAST, QUALITY_FULL],
+        default=QUALITY_FAST,
+        help="simulation budget preset",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help=(
+            "resume an interrupted run: execute only the cells missing "
+            "from its journal (the spec is restored from the manifest)"
+        ),
+    )
+    parser.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="name the run directory (default: auto '<experiment>-NNN')",
+    )
+    parser.add_argument(
+        "--runs-dir", type=Path, default=Path("runs"), metavar="DIR",
+        help="parent directory for run journals (default: runs/)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the merged series to a JSON file",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any task exceeding this wall-clock budget",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-executions allowed per task before the run fails "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help=(
+            "checkpoint: end the session after N cells complete in it "
+            "(resume later with --resume)"
+        ),
+    )
+    parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line",
+    )
+    _add_budget_overrides(parser)
+    return parser
+
+
+def run_experiment(
+    name: str, quality: str, budget: Optional[SimBudget] = None
+) -> SeriesResult:
     """Run one named experiment and return its series."""
     runner = RUNNERS.get(name)
     if runner is None:
-        raise ValueError(f"unknown experiment {name!r}; choose from {sorted(RUNNERS)}")
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(RUNNERS)}"
+        )
+    if budget is not None:
+        return runner(quality=quality, budget=budget)
     return runner(quality=quality)
+
+
+def run_main(argv: List[str]) -> int:
+    """Entry point of ``repro run ...`` (the parallel sweep runner)."""
+    from repro.runner import JournalError, RunJournal, RunSpec, execute_run
+
+    args = build_run_parser().parse_args(argv)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+
+    try:
+        if args.resume is not None:
+            # The journal manifest is the source of truth for a resumed
+            # spec; the fingerprint check still guards against drift.
+            journal = RunJournal.load(args.runs_dir / args.resume)
+            manifest_spec = journal.manifest()["spec"]
+            spec = RunSpec.from_dict(manifest_spec)
+            if args.experiment != spec.experiment:
+                print(
+                    f"error: run {args.resume} is a {spec.experiment!r} "
+                    f"sweep, not {args.experiment!r}",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            budget = _resolve_budget(args) or budget_for(args.quality)
+            spec = RunSpec.create(args.experiment, args.quality, budget)
+        outcome = execute_run(
+            spec,
+            workers=args.workers,
+            runs_dir=args.runs_dir,
+            run_id=args.run_id,
+            resume=args.resume,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            stop_after=args.stop_after,
+            progress=not args.no_progress,
+        )
+    except (JournalError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if not outcome.complete:
+        print(
+            f"checkpointed {outcome.run_id}: "
+            f"{outcome.completed_tasks}/{outcome.total_tasks} cells "
+            f"journaled in {outcome.run_dir}; continue with "
+            f"'repro run {spec.experiment} --resume {outcome.run_id}'",
+            file=sys.stderr,
+        )
+        return EXIT_CHECKPOINTED
+
+    result = outcome.result
+    assert result is not None
+    print(result.to_table())
+    print()
+    print(
+        f"run {outcome.run_id}: {outcome.total_tasks} cells "
+        f"({outcome.resumed_tasks} from journal, "
+        f"{outcome.executed_this_session} executed) -> "
+        f"{outcome.run_dir / 'result.json'}",
+        file=sys.stderr,
+    )
+    if args.json is not None:
+        if args.json.parent != Path("."):
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(result.to_json())
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -107,10 +315,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.__main__ import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "run":
+        return run_main(argv[1:])
     args = build_parser().parse_args(argv)
+    try:
+        budget = _resolve_budget(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        result = run_experiment(name, args.quality)
+        result = run_experiment(name, args.quality, budget)
         print(result.to_table())
         print()
         if args.json is not None:

@@ -15,12 +15,28 @@ runner                regenerates
 ``run_robustness``    E-ROBUST — graceful degradation under fault injection
 ====================  =====================================================
 
+Every runner is a thin wrapper over a ``plan_*`` builder that exposes the
+experiment as a deterministic task grid (:class:`ExperimentPlan`):
+``run_X(...) == plan_X(...).run_serial()``.  The parallel sweep runner
+(:mod:`repro.runner`) executes the same grids on a worker pool and merges
+through the same code path, which is what makes sharded execution
+byte-identical to serial (see ``docs/RUNNER.md``).  ``PLAN_BUILDERS`` maps
+each CLI experiment name to its plan builder.
+
 Supporting machinery: quality budgets and :class:`SeriesResult`
 (:mod:`repro.experiments.base`), and cross-run regression diffing
 (:mod:`repro.experiments.regression`).
 """
 
+from typing import Callable, Dict
+
 from repro.experiments.ablations import (
+    plan_buffer_ablation,
+    plan_coding_ablation,
+    plan_scheduler_ablation,
+    plan_selection_ablation,
+    plan_topology_ablation,
+    plan_ttl_ablation,
     run_buffer_ablation,
     run_coding_ablation,
     run_scheduler_ablation,
@@ -30,28 +46,70 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.base import (
     BUDGETS,
+    ExperimentPlan,
     QUALITY_FAST,
     QUALITY_FULL,
     SeriesResult,
     SimBudget,
+    SimTask,
+    budget_as_dict,
     budget_for,
+    budget_from_dict,
+    override_budget,
+    parse_seeds,
     simulate_metrics,
 )
-from repro.experiments.baseline import FlashCrowdScenario, run_baseline_comparison
-from repro.experiments.fig3 import run_fig3
+from repro.experiments.baseline import (
+    FlashCrowdScenario,
+    plan_baseline_comparison,
+    run_baseline_comparison,
+)
+from repro.experiments.fig3 import plan_fig3, run_fig3
 from repro.experiments.regression import (
     ComparisonReport,
     compare_archives,
     compare_results,
 )
-from repro.experiments.fig4 import run_fig4
-from repro.experiments.fig5 import run_fig5
-from repro.experiments.fig6 import run_fig6
-from repro.experiments.robustness import rlnc_pollution_audit, run_robustness
-from repro.experiments.theorem1 import run_theorem1
-from repro.experiments.transient import run_transient
+from repro.experiments.fig4 import plan_fig4, run_fig4
+from repro.experiments.fig5 import plan_fig5, run_fig5
+from repro.experiments.fig6 import plan_fig6, run_fig6
+from repro.experiments.robustness import (
+    plan_robustness,
+    rlnc_pollution_audit,
+    run_robustness,
+)
+from repro.experiments.theorem1 import plan_theorem1, run_theorem1
+from repro.experiments.transient import plan_transient, run_transient
+
+#: CLI experiment name -> task-grid builder.  Every builder accepts
+#: ``(quality=..., budget=...)`` keywords; passing an explicit budget
+#: bypasses the quality presets entirely (the parallel runner always does,
+#: so workers never consult possibly-monkeypatched globals).
+PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
+    "fig3": plan_fig3,
+    "fig4": plan_fig4,
+    "fig5": plan_fig5,
+    "fig6": plan_fig6,
+    "theorem1": plan_theorem1,
+    "transient": plan_transient,
+    "baseline": plan_baseline_comparison,
+    "robustness": plan_robustness,
+    "ablation-ttl": plan_ttl_ablation,
+    "ablation-buffer": plan_buffer_ablation,
+    "ablation-selection": plan_selection_ablation,
+    "ablation-scheduler": plan_scheduler_ablation,
+    "ablation-coding": plan_coding_ablation,
+    "ablation-topology": plan_topology_ablation,
+}
 
 __all__ = [
+    "PLAN_BUILDERS",
+    "plan_buffer_ablation",
+    "plan_scheduler_ablation",
+    "plan_topology_ablation",
+    "plan_coding_ablation",
+    "plan_selection_ablation",
+    "plan_ttl_ablation",
     "run_buffer_ablation",
     "run_scheduler_ablation",
     "run_topology_ablation",
@@ -59,23 +117,37 @@ __all__ = [
     "run_selection_ablation",
     "run_ttl_ablation",
     "BUDGETS",
+    "ExperimentPlan",
     "QUALITY_FAST",
     "QUALITY_FULL",
     "SeriesResult",
     "SimBudget",
+    "SimTask",
+    "budget_as_dict",
     "budget_for",
+    "budget_from_dict",
+    "override_budget",
+    "parse_seeds",
     "simulate_metrics",
     "FlashCrowdScenario",
+    "plan_baseline_comparison",
     "run_baseline_comparison",
+    "plan_fig3",
     "run_fig3",
     "ComparisonReport",
     "compare_archives",
     "compare_results",
+    "plan_fig4",
     "run_fig4",
+    "plan_fig5",
     "run_fig5",
+    "plan_fig6",
     "run_fig6",
+    "plan_robustness",
     "rlnc_pollution_audit",
     "run_robustness",
+    "plan_theorem1",
     "run_theorem1",
+    "plan_transient",
     "run_transient",
 ]

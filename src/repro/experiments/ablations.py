@@ -20,34 +20,51 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import math
+from functools import partial
+from typing import Mapping, Optional, Sequence
 
 from repro.core.params import Parameters
 from repro.core.system import CollectionSystem
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
-    simulate_metrics,
+    seed_mean,
+    simulate_cell,
 )
 
 
-def run_ttl_ablation(
+def _raw(value: float) -> Optional[float]:
+    """Encode one raw (un-averaged) metric for a JSON payload."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return None
+    return float(value)
+
+
+def _thaw(value: Optional[float]) -> float:
+    """Decode :func:`_raw`'s encoding back to the in-memory float."""
+    return math.nan if value is None else float(value)
+
+
+def plan_ttl_ablation(
     quality: str = QUALITY_FAST,
     gammas: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
     budget: Optional[SimBudget] = None,
-) -> SeriesResult:
-    """E-ABL-TTL: sweep the deletion rate gamma."""
+) -> ExperimentPlan:
+    """E-ABL-TTL as a task grid: one cell per (gamma, seed)."""
     budget = budget or budget_for(quality)
-    result = SeriesResult(
-        name="ablation-ttl",
-        title="Ablation — TTL rate gamma: storage vs throughput "
-        "(lambda=8, mu=10, c=4, s=16)",
-        x_name="gamma",
-        x_values=[float(g) for g in gammas],
+    metrics = (
+        "mean_buffer_occupancy",
+        "normalized_throughput",
+        "saved_blocks_per_peer",
     )
-    occupancy, throughput, saved = [], [], []
+
+    tasks = []
     for gamma in gammas:
         params = Parameters(
             n_peers=budget.n_peers,
@@ -58,43 +75,74 @@ def run_ttl_ablation(
             segment_size=16,
             n_servers=budget.n_servers,
         )
-        metrics = simulate_metrics(
-            params,
-            budget,
-            (
-                "mean_buffer_occupancy",
-                "normalized_throughput",
-                "saved_blocks_per_peer",
-            ),
+        for seed in budget.seeds:
+            tasks.append(SimTask(
+                task_id=f"gamma={gamma:g}:seed={seed}",
+                thunk=partial(
+                    simulate_cell, params, budget.warmup, budget.duration,
+                    metrics, seed,
+                ),
+            ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="ablation-ttl",
+            title="Ablation — TTL rate gamma: storage vs throughput "
+            "(lambda=8, mu=10, c=4, s=16)",
+            x_name="gamma",
+            x_values=[float(g) for g in gammas],
         )
-        occupancy.append(metrics["mean_buffer_occupancy"])
-        throughput.append(metrics["normalized_throughput"])
-        saved.append(metrics["saved_blocks_per_peer"])
-    result.add_series("occupancy rho", occupancy)
-    result.add_series("normalized throughput", throughput)
-    result.add_series("saved blocks/peer", saved)
-    result.add_note(
-        "expected: occupancy ~ (mu+lambda)/gamma; throughput and the saved "
-        "reserve fall as gamma grows (blocks die before they can be pulled)"
-    )
-    return result
+        occupancy, throughput, saved = [], [], []
+        for gamma in gammas:
+            prefix = f"gamma={gamma:g}"
+            occupancy.append(
+                seed_mean(payloads, prefix, budget.seeds,
+                          "mean_buffer_occupancy")
+            )
+            throughput.append(
+                seed_mean(payloads, prefix, budget.seeds,
+                          "normalized_throughput")
+            )
+            saved.append(
+                seed_mean(payloads, prefix, budget.seeds,
+                          "saved_blocks_per_peer")
+            )
+        result.add_series("occupancy rho", occupancy)
+        result.add_series("normalized throughput", throughput)
+        result.add_series("saved blocks/peer", saved)
+        result.add_note(
+            "expected: occupancy ~ (mu+lambda)/gamma; throughput and the "
+            "saved reserve fall as gamma grows (blocks die before they can "
+            "be pulled)"
+        )
+        return result
+
+    return ExperimentPlan("ablation-ttl", tasks, merge)
 
 
-def run_buffer_ablation(
+def run_ttl_ablation(
+    quality: str = QUALITY_FAST,
+    gammas: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    budget: Optional[SimBudget] = None,
+) -> SeriesResult:
+    """E-ABL-TTL: sweep the deletion rate gamma."""
+    return plan_ttl_ablation(quality, gammas, budget).run_serial()
+
+
+def plan_buffer_ablation(
     quality: str = QUALITY_FAST,
     capacities: Sequence[int] = (16, 24, 32, 48, 96),
     budget: Optional[SimBudget] = None,
-) -> SeriesResult:
-    """E-ABL-BUF: sweep the per-peer buffer cap B."""
+) -> ExperimentPlan:
+    """E-ABL-BUF as a task grid: one cell per (B, seed)."""
     budget = budget or budget_for(quality)
-    result = SeriesResult(
-        name="ablation-buffer",
-        title="Ablation — buffer cap B: blocking vs throughput "
-        "(lambda=8, mu=10, gamma=1, c=4, s=8; natural rho~18)",
-        x_name="B",
-        x_values=[float(b) for b in capacities],
+    metrics = (
+        "normalized_throughput",
+        "blocked_injections",
+        "mean_buffer_occupancy",
     )
-    throughput, blocked, occupancy = [], [], []
+
+    tasks = []
     for capacity in capacities:
         params = Parameters(
             n_peers=budget.n_peers,
@@ -106,44 +154,71 @@ def run_buffer_ablation(
             n_servers=budget.n_servers,
             buffer_capacity=capacity,
         )
-        metrics = simulate_metrics(
-            params,
-            budget,
-            (
-                "normalized_throughput",
-                "blocked_injections",
-                "mean_buffer_occupancy",
-            ),
+        for seed in budget.seeds:
+            tasks.append(SimTask(
+                task_id=f"B={capacity}:seed={seed}",
+                thunk=partial(
+                    simulate_cell, params, budget.warmup, budget.duration,
+                    metrics, seed,
+                ),
+            ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="ablation-buffer",
+            title="Ablation — buffer cap B: blocking vs throughput "
+            "(lambda=8, mu=10, gamma=1, c=4, s=8; natural rho~18)",
+            x_name="B",
+            x_values=[float(b) for b in capacities],
         )
-        throughput.append(metrics["normalized_throughput"])
-        blocked.append(metrics["blocked_injections"])
-        occupancy.append(metrics["mean_buffer_occupancy"])
-    result.add_series("normalized throughput", throughput)
-    result.add_series("blocked injections", blocked)
-    result.add_series("occupancy rho", occupancy)
-    result.add_note(
-        "expected: blocking vanishes and throughput saturates once B clears "
-        "the natural occupancy; below it peers refuse injections and gossip"
-    )
-    return result
+        throughput, blocked, occupancy = [], [], []
+        for capacity in capacities:
+            prefix = f"B={capacity}"
+            throughput.append(
+                seed_mean(payloads, prefix, budget.seeds,
+                          "normalized_throughput")
+            )
+            blocked.append(
+                seed_mean(payloads, prefix, budget.seeds,
+                          "blocked_injections")
+            )
+            occupancy.append(
+                seed_mean(payloads, prefix, budget.seeds,
+                          "mean_buffer_occupancy")
+            )
+        result.add_series("normalized throughput", throughput)
+        result.add_series("blocked injections", blocked)
+        result.add_series("occupancy rho", occupancy)
+        result.add_note(
+            "expected: blocking vanishes and throughput saturates once B "
+            "clears the natural occupancy; below it peers refuse "
+            "injections and gossip"
+        )
+        return result
+
+    return ExperimentPlan("ablation-buffer", tasks, merge)
 
 
-def run_selection_ablation(
+def run_buffer_ablation(
+    quality: str = QUALITY_FAST,
+    capacities: Sequence[int] = (16, 24, 32, 48, 96),
+    budget: Optional[SimBudget] = None,
+) -> SeriesResult:
+    """E-ABL-BUF: sweep the per-peer buffer cap B."""
+    return plan_buffer_ablation(quality, capacities, budget).run_serial()
+
+
+def plan_selection_ablation(
     quality: str = QUALITY_FAST,
     segment_sizes: Sequence[int] = (1, 5, 20, 40),
     budget: Optional[SimBudget] = None,
-) -> SeriesResult:
-    """E-ABL-SELECT: degree-proportional vs uniform segment selection."""
+) -> ExperimentPlan:
+    """E-ABL-SELECT as a task grid: one cell per (rule, s, seed)."""
     budget = budget or budget_for(quality)
-    result = SeriesResult(
-        name="ablation-selection",
-        title="Ablation — segment selection rule "
-        "(lambda=20, mu=10, gamma=1, c=8)",
-        x_name="s",
-        x_values=[float(s) for s in segment_sizes],
-    )
+    metrics = ("normalized_throughput", "normalized_goodput")
+
+    tasks = []
     for selection in ("proportional", "uniform"):
-        throughput, goodput = [], []
         for s in segment_sizes:
             params = Parameters(
                 n_peers=budget.n_peers,
@@ -155,20 +230,129 @@ def run_selection_ablation(
                 n_servers=budget.n_servers,
                 segment_selection=selection,
             )
-            metrics = simulate_metrics(
-                params, budget, ("normalized_throughput", "normalized_goodput")
-            )
-            throughput.append(metrics["normalized_throughput"])
-            goodput.append(metrics["normalized_goodput"])
-        result.add_series(f"{selection} throughput", throughput)
-        result.add_series(f"{selection} goodput", goodput)
-    result.add_note(
-        "proportional matches the paper's analysis (Eq. 2 equivalence); "
-        "uniform is the literal Sec. 2 text — it pays ~20% throughput at "
-        "large s to redundant pulls but concentrates pulls so completed-"
-        "segment goodput is higher"
+            for seed in budget.seeds:
+                tasks.append(SimTask(
+                    task_id=f"{selection}:s={s}:seed={seed}",
+                    thunk=partial(
+                        simulate_cell, params, budget.warmup,
+                        budget.duration, metrics, seed,
+                    ),
+                ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="ablation-selection",
+            title="Ablation — segment selection rule "
+            "(lambda=20, mu=10, gamma=1, c=8)",
+            x_name="s",
+            x_values=[float(s) for s in segment_sizes],
+        )
+        for selection in ("proportional", "uniform"):
+            throughput, goodput = [], []
+            for s in segment_sizes:
+                prefix = f"{selection}:s={s}"
+                throughput.append(
+                    seed_mean(payloads, prefix, budget.seeds,
+                              "normalized_throughput")
+                )
+                goodput.append(
+                    seed_mean(payloads, prefix, budget.seeds,
+                              "normalized_goodput")
+                )
+            result.add_series(f"{selection} throughput", throughput)
+            result.add_series(f"{selection} goodput", goodput)
+        result.add_note(
+            "proportional matches the paper's analysis (Eq. 2 equivalence); "
+            "uniform is the literal Sec. 2 text — it pays ~20% throughput "
+            "at large s to redundant pulls but concentrates pulls so "
+            "completed-segment goodput is higher"
+        )
+        return result
+
+    return ExperimentPlan("ablation-selection", tasks, merge)
+
+
+def run_selection_ablation(
+    quality: str = QUALITY_FAST,
+    segment_sizes: Sequence[int] = (1, 5, 20, 40),
+    budget: Optional[SimBudget] = None,
+) -> SeriesResult:
+    """E-ABL-SELECT: degree-proportional vs uniform segment selection."""
+    return plan_selection_ablation(quality, segment_sizes, budget).run_serial()
+
+
+def _coding_cell(
+    n_peers: int, mode: str, s: int, seed: int, warmup: float, duration: float
+) -> Payload:
+    """One fidelity-mode run: raw efficiency/throughput, no seed average."""
+    params = Parameters(
+        n_peers=n_peers,
+        arrival_rate=6.0,
+        gossip_rate=8.0,
+        deletion_rate=1.0,
+        normalized_capacity=3.0,
+        segment_size=s,
+        n_servers=2,
+        mode=mode,
     )
-    return result
+    system = CollectionSystem(params, seed=seed)
+    report = system.run(warmup, duration)
+    return {
+        "efficiency": _raw(report.efficiency),
+        "normalized_throughput": _raw(report.normalized_throughput),
+    }
+
+
+def plan_coding_ablation(
+    quality: str = QUALITY_FAST,
+    segment_sizes: Sequence[int] = (2, 4, 8),
+    budget: Optional[SimBudget] = None,
+    seed: int = 11,
+) -> ExperimentPlan:
+    """E-ABL-CODE as a task grid: one cell per (fidelity mode, s)."""
+    budget = budget or budget_for(quality)
+    # Full RLNC carries real rank computations: keep the network small.
+    n_peers = min(budget.n_peers, 60)
+
+    tasks = []
+    for mode in ("abstract", "rlnc"):
+        for s in segment_sizes:
+            tasks.append(SimTask(
+                task_id=f"{mode}:s={s}:seed={seed}",
+                thunk=partial(
+                    _coding_cell, n_peers, mode, s, seed,
+                    budget.warmup, budget.duration,
+                ),
+            ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="ablation-coding",
+            title="Ablation — abstract innovation assumption vs real RLNC "
+            f"(N={n_peers}, lambda=6, mu=8, gamma=1, c=3)",
+            x_name="s",
+            x_values=[float(s) for s in segment_sizes],
+        )
+        for mode in ("abstract", "rlnc"):
+            efficiency, throughput = [], []
+            for s in segment_sizes:
+                cell = payloads[f"{mode}:s={s}:seed={seed}"]
+                efficiency.append(_thaw(cell["efficiency"]))
+                throughput.append(_thaw(cell["normalized_throughput"]))
+            result.add_series(f"{mode} efficiency", efficiency)
+            result.add_series(f"{mode} throughput", throughput)
+        result.add_note(
+            "finding: real RLNC loses 10-30% of collection efficiency to "
+            "the idealization in this deliberately adversarial "
+            "configuration (small network, generous capacity) — not the "
+            "~2^-8 coefficient-collision rate, but subspace-correlated "
+            "holdings: a pulled peer's blocks can span dimensions the "
+            "servers already hold; the gap shrinks as the network grows "
+            "relative to s"
+        )
+        return result
+
+    return ExperimentPlan("ablation-coding", tasks, merge)
 
 
 def run_coding_ablation(
@@ -184,44 +368,90 @@ def run_coding_ablation(
     the measured redundant fraction among pulls of *incomplete* segments —
     the quantity the abstract mode idealizes to zero.
     """
+    return plan_coding_ablation(
+        quality, segment_sizes, budget, seed
+    ).run_serial()
+
+
+def plan_scheduler_ablation(
+    quality: str = QUALITY_FAST,
+    policies: Sequence[str] = (
+        "random",
+        "round-robin",
+        "avoid-redundant",
+        "greedy-completion",
+    ),
+    budget: Optional[SimBudget] = None,
+) -> ExperimentPlan:
+    """E-ABL-SCHED as a task grid: one cell per (policy, seed)."""
     budget = budget or budget_for(quality)
-    # Full RLNC carries real rank computations: keep the network small.
-    n_peers = min(budget.n_peers, 60)
-    result = SeriesResult(
-        name="ablation-coding",
-        title="Ablation — abstract innovation assumption vs real RLNC "
-        f"(N={n_peers}, lambda=6, mu=8, gamma=1, c=3)",
-        x_name="s",
-        x_values=[float(s) for s in segment_sizes],
+    metrics = (
+        "normalized_throughput",
+        "normalized_goodput",
+        "efficiency",
+        "mean_block_delay",
     )
-    for mode in ("abstract", "rlnc"):
-        efficiency, throughput = [], []
-        for s in segment_sizes:
-            params = Parameters(
-                n_peers=n_peers,
-                arrival_rate=6.0,
-                gossip_rate=8.0,
-                deletion_rate=1.0,
-                normalized_capacity=3.0,
-                segment_size=s,
-                n_servers=2,
-                mode=mode,
+
+    tasks = []
+    for policy in policies:
+        params = Parameters(
+            n_peers=budget.n_peers,
+            arrival_rate=20.0,
+            gossip_rate=10.0,
+            deletion_rate=1.0,
+            normalized_capacity=8.0,
+            segment_size=20,
+            n_servers=budget.n_servers,
+            pull_policy=policy,
+        )
+        for seed in budget.seeds:
+            tasks.append(SimTask(
+                task_id=f"{policy}:seed={seed}",
+                thunk=partial(
+                    simulate_cell, params, budget.warmup, budget.duration,
+                    metrics, seed,
+                ),
+            ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="ablation-scheduler",
+            title="Ablation — server pull scheduling "
+            "(lambda=20, mu=10, gamma=1, c=8, s=20)",
+            x_name="policy#",
+            x_values=[float(i) for i in range(len(policies))],
+        )
+        throughput, goodput, efficiency, delay = [], [], [], []
+        for policy in policies:
+            throughput.append(
+                seed_mean(payloads, policy, budget.seeds,
+                          "normalized_throughput")
             )
-            system = CollectionSystem(params, seed=seed)
-            report = system.run(budget.warmup, budget.duration)
-            efficiency.append(report.efficiency)
-            throughput.append(report.normalized_throughput)
-        result.add_series(f"{mode} efficiency", efficiency)
-        result.add_series(f"{mode} throughput", throughput)
-    result.add_note(
-        "finding: real RLNC loses 10-30% of collection efficiency to the "
-        "idealization in this deliberately adversarial configuration (small "
-        "network, generous capacity) — not the ~2^-8 coefficient-collision "
-        "rate, but subspace-correlated holdings: a pulled peer's blocks can "
-        "span dimensions the servers already hold; the gap shrinks as the "
-        "network grows relative to s"
-    )
-    return result
+            goodput.append(
+                seed_mean(payloads, policy, budget.seeds,
+                          "normalized_goodput")
+            )
+            efficiency.append(
+                seed_mean(payloads, policy, budget.seeds, "efficiency")
+            )
+            delay.append(
+                seed_mean(payloads, policy, budget.seeds, "mean_block_delay")
+            )
+        result.add_series("throughput", throughput)
+        result.add_series("goodput", goodput)
+        result.add_series("efficiency", efficiency)
+        result.add_series("block delay", delay)
+        for index, policy in enumerate(policies):
+            result.add_note(f"policy {index}: {policy}")
+        result.add_note(
+            "finding: greedy-completion matches the paper-metric throughput "
+            "but multiplies reconstructed-data goodput and cuts delivery "
+            "delay — the redundancy the random policy pays is recoverable "
+            "with a few-candidate lookahead"
+        )
+        return result
+
+    return ExperimentPlan("ablation-scheduler", tasks, merge)
 
 
 def run_scheduler_ablation(
@@ -242,53 +472,96 @@ def run_scheduler_ablation(
     reconstructed data.  Series are indexed by policy (x is the policy
     ordinal; the table labels carry the names).
     """
-    budget = budget or budget_for(quality)
-    result = SeriesResult(
-        name="ablation-scheduler",
-        title="Ablation — server pull scheduling "
-        "(lambda=20, mu=10, gamma=1, c=8, s=20)",
-        x_name="policy#",
-        x_values=[float(i) for i in range(len(policies))],
+    return plan_scheduler_ablation(quality, policies, budget).run_serial()
+
+
+def _topology_cell(
+    n_peers: int, n_servers: int, degree: int, seed: int,
+    warmup: float, duration: float,
+) -> Payload:
+    """One overlay run: raw counts so the merge reproduces the ratio."""
+    from repro.sim.rng import SeedSequenceRegistry
+    from repro.sim.topology import CompleteTopology, random_regular_topology
+
+    params = Parameters(
+        n_peers=n_peers,
+        arrival_rate=12.0,
+        gossip_rate=10.0,
+        deletion_rate=1.0,
+        normalized_capacity=5.0,
+        segment_size=16,
+        n_servers=n_servers,
     )
-    throughput, goodput, efficiency, delay = [], [], [], []
-    for policy in policies:
-        params = Parameters(
-            n_peers=budget.n_peers,
-            arrival_rate=20.0,
-            gossip_rate=10.0,
-            deletion_rate=1.0,
-            normalized_capacity=8.0,
-            segment_size=20,
-            n_servers=budget.n_servers,
-            pull_policy=policy,
+    # Overlay wiring rides its own named substream per degree, so adding or
+    # reordering sweep points never perturbs the other overlays' draws —
+    # and any worker can rebuild exactly this overlay from (seed, degree).
+    if degree == 0:
+        topology = CompleteTopology(n_peers)
+    else:
+        overlay_seeds = SeedSequenceRegistry(seed).spawn("overlay-wiring")
+        topology = random_regular_topology(
+            n_peers, degree, overlay_seeds.python(f"degree:{degree}")
         )
-        metrics = simulate_metrics(
-            params,
-            budget,
-            (
-                "normalized_throughput",
-                "normalized_goodput",
-                "efficiency",
-                "mean_block_delay",
+    system = CollectionSystem(params, seed=seed, topology=topology)
+    report = system.run(warmup, duration)
+    return {
+        "normalized_throughput": _raw(report.normalized_throughput),
+        "gossip_no_target": report.gossip_no_target,
+        "gossip_transfers": report.gossip_transfers,
+        "mean_buffer_occupancy": _raw(report.mean_buffer_occupancy),
+    }
+
+
+def plan_topology_ablation(
+    quality: str = QUALITY_FAST,
+    degrees: Sequence[int] = (2, 4, 8, 16, 0),  # 0 = complete graph
+    budget: Optional[SimBudget] = None,
+    seed: int = 17,
+) -> ExperimentPlan:
+    """E-ABL-TOPO as a task grid: one cell per overlay degree."""
+    budget = budget or budget_for(quality)
+
+    tasks = [
+        SimTask(
+            task_id=f"degree={degree}:seed={seed}",
+            thunk=partial(
+                _topology_cell, budget.n_peers, budget.n_servers, degree,
+                seed, budget.warmup, budget.duration,
             ),
         )
-        throughput.append(metrics["normalized_throughput"])
-        goodput.append(metrics["normalized_goodput"])
-        efficiency.append(metrics["efficiency"])
-        delay.append(metrics["mean_block_delay"])
-    result.add_series("throughput", throughput)
-    result.add_series("goodput", goodput)
-    result.add_series("efficiency", efficiency)
-    result.add_series("block delay", delay)
-    for index, policy in enumerate(policies):
-        result.add_note(f"policy {index}: {policy}")
-    result.add_note(
-        "finding: greedy-completion matches the paper-metric throughput but "
-        "multiplies reconstructed-data goodput and cuts delivery delay — "
-        "the redundancy the random policy pays is recoverable with a "
-        "few-candidate lookahead"
-    )
-    return result
+        for degree in degrees
+    ]
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="ablation-topology",
+            title="Ablation — overlay degree vs mean-field "
+            "(lambda=12, mu=10, gamma=1, c=5, s=16; "
+            "degree 0 = complete graph)",
+            x_name="degree",
+            x_values=[float(d) for d in degrees],
+        )
+        throughput, gossip_failures, occupancy = [], [], []
+        for degree in degrees:
+            cell = payloads[f"degree={degree}:seed={seed}"]
+            throughput.append(_thaw(cell["normalized_throughput"]))
+            gossip_failures.append(
+                cell["gossip_no_target"] / max(cell["gossip_transfers"], 1)
+            )
+            occupancy.append(_thaw(cell["mean_buffer_occupancy"]))
+        result.add_series("normalized throughput", throughput)
+        result.add_series("gossip failure ratio", gossip_failures)
+        result.add_series("occupancy rho", occupancy)
+        result.add_note(
+            "finding: the mean-field analysis is remarkably robust — even "
+            "a degree-2 overlay matches complete-graph throughput, because "
+            "server pulls sample peers globally so local gossip clustering "
+            "does not bias the coupon collector; gossip failures stay "
+            "negligible while neighborhoods have any headroom"
+        )
+        return result
+
+    return ExperimentPlan("ablation-topology", tasks, merge)
 
 
 def run_topology_ablation(
@@ -305,55 +578,7 @@ def run_topology_ablation(
     degree to locate how dense a neighborhood must be before the mean-field
     prediction holds.
     """
-    from repro.sim.rng import SeedSequenceRegistry
-    from repro.sim.topology import CompleteTopology, random_regular_topology
-
-    budget = budget or budget_for(quality)
-    # Overlay wiring rides its own named substream per degree, so adding or
-    # reordering sweep points never perturbs the other overlays' draws.
-    overlay_seeds = SeedSequenceRegistry(seed).spawn("overlay-wiring")
-    result = SeriesResult(
-        name="ablation-topology",
-        title="Ablation — overlay degree vs mean-field "
-        "(lambda=12, mu=10, gamma=1, c=5, s=16; degree 0 = complete graph)",
-        x_name="degree",
-        x_values=[float(d) for d in degrees],
-    )
-    throughput, gossip_failures, occupancy = [], [], []
-    for degree in degrees:
-        params = Parameters(
-            n_peers=budget.n_peers,
-            arrival_rate=12.0,
-            gossip_rate=10.0,
-            deletion_rate=1.0,
-            normalized_capacity=5.0,
-            segment_size=16,
-            n_servers=budget.n_servers,
-        )
-        if degree == 0:
-            topology = CompleteTopology(budget.n_peers)
-        else:
-            topology = random_regular_topology(
-                budget.n_peers, degree, overlay_seeds.python(f"degree:{degree}")
-            )
-        system = CollectionSystem(params, seed=seed, topology=topology)
-        report = system.run(budget.warmup, budget.duration)
-        throughput.append(report.normalized_throughput)
-        gossip_failures.append(
-            report.gossip_no_target / max(report.gossip_transfers, 1)
-        )
-        occupancy.append(report.mean_buffer_occupancy)
-    result.add_series("normalized throughput", throughput)
-    result.add_series("gossip failure ratio", gossip_failures)
-    result.add_series("occupancy rho", occupancy)
-    result.add_note(
-        "finding: the mean-field analysis is remarkably robust — even a "
-        "degree-2 overlay matches complete-graph throughput, because server "
-        "pulls sample peers globally so local gossip clustering does not "
-        "bias the coupon collector; gossip failures stay negligible while "
-        "neighborhoods have any headroom"
-    )
-    return result
+    return plan_topology_ablation(quality, degrees, budget, seed).run_serial()
 
 
 def main(quality: str = QUALITY_FAST) -> None:

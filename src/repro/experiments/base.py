@@ -11,14 +11,36 @@ Two quality presets control cost:
   Used by the pytest-benchmark harness and CI.
 - ``full`` — paper-scale sweep with seed replication; tens of minutes.
   Used to produce the numbers recorded in EXPERIMENTS.md.
+
+Task grids
+----------
+
+Each experiment additionally exposes its work as a deterministic **task
+grid** (:class:`ExperimentPlan`): a flat, ordered list of independent
+:class:`SimTask` cells — one per (sweep point, seed) — plus a ``merge``
+function that folds the task payloads back into the figure's
+:class:`SeriesResult`.  The serial runners (``run_fig3`` etc.) are thin
+wrappers that execute their plan's tasks in order and merge; the parallel
+sweep orchestrator (:mod:`repro.runner`) executes the *same* tasks on a
+worker pool and calls the *same* merge, so parallel results are
+byte-identical to serial ones by construction:
+
+- every task seeds its own simulation from its ``(params, seed)`` cell —
+  tasks share no RNG state, honoring the named-substream discipline of
+  :class:`repro.sim.rng.SeedSequenceRegistry`;
+- task payloads are normalized through a JSON round-trip on *every* path
+  (in-process or journaled to disk), so merge always sees identical bytes;
+- ``merge`` looks payloads up **by task id** and folds seeds in declared
+  budget order — never in completion order — so float accumulation
+  (the R2/R4 determinism contract) is reproduced exactly.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.params import Parameters
 from repro.core.system import CollectionSystem
@@ -59,6 +81,76 @@ def budget_for(quality: str) -> SimBudget:
             f"quality must be one of {sorted(BUDGETS)}, got {quality!r}"
         )
     return BUDGETS[quality]
+
+
+def parse_seeds(text: str) -> Tuple[int, ...]:
+    """Parse a CLI ``--seeds`` list ("1,2,3") into a seed tuple.
+
+    Raises :class:`ValueError` on empty input, non-integer entries, and
+    duplicates (a duplicated seed would silently double-weight one
+    replication in every seed mean).
+    """
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    if not parts:
+        raise ValueError("--seeds needs at least one integer (e.g. '1,2,3')")
+    try:
+        seeds = tuple(int(part) for part in parts)
+    except ValueError:
+        raise ValueError(
+            f"--seeds entries must be integers, got {text!r}"
+        ) from None
+    duplicates = sorted({seed for seed in seeds if seeds.count(seed) > 1})
+    if duplicates:
+        raise ValueError(
+            f"--seeds contains duplicate seed(s) {duplicates}: each seed "
+            "must appear exactly once or one replication is double-counted"
+        )
+    return seeds
+
+
+def override_budget(
+    budget: SimBudget,
+    seeds: Optional[Sequence[int]] = None,
+    n_peers: Optional[int] = None,
+    warmup: Optional[float] = None,
+    duration: Optional[float] = None,
+    n_servers: Optional[int] = None,
+) -> SimBudget:
+    """Return *budget* with any non-``None`` field replaced."""
+    changes: Dict[str, Any] = {}
+    if seeds is not None:
+        changes["seeds"] = tuple(int(seed) for seed in seeds)
+    if n_peers is not None:
+        changes["n_peers"] = int(n_peers)
+    if warmup is not None:
+        changes["warmup"] = float(warmup)
+    if duration is not None:
+        changes["duration"] = float(duration)
+    if n_servers is not None:
+        changes["n_servers"] = int(n_servers)
+    return replace(budget, **changes) if changes else budget
+
+
+def budget_as_dict(budget: SimBudget) -> Dict[str, Any]:
+    """JSON-ready form of a budget (for run manifests)."""
+    return {
+        "n_peers": budget.n_peers,
+        "warmup": budget.warmup,
+        "duration": budget.duration,
+        "seeds": list(budget.seeds),
+        "n_servers": budget.n_servers,
+    }
+
+
+def budget_from_dict(payload: Mapping[str, Any]) -> SimBudget:
+    """Inverse of :func:`budget_as_dict` (for workers rebuilding a plan)."""
+    return SimBudget(
+        n_peers=int(payload["n_peers"]),
+        warmup=float(payload["warmup"]),
+        duration=float(payload["duration"]),
+        seeds=tuple(int(seed) for seed in payload["seeds"]),
+        n_servers=int(payload["n_servers"]),
+    )
 
 
 @dataclass
@@ -137,6 +229,143 @@ class SeriesResult:
         return result
 
 
+#: One task's JSON-normalized output.
+Payload = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One independent cell of an experiment's task grid.
+
+    ``task_id`` is a deterministic, human-readable key (e.g.
+    ``"c=8:s=20:seed=2"``) — stable across runs, processes, and code that
+    merely reorders the grid.  ``thunk`` performs the cell's work and
+    returns a JSON-serializable payload.
+    """
+
+    task_id: str
+    thunk: Callable[[], Mapping[str, Any]]
+
+    def run(self) -> Payload:
+        """Execute the cell and return its JSON-normalized payload.
+
+        The round-trip through ``json`` is deliberate: it guarantees the
+        merge step consumes byte-identical inputs whether the payload came
+        straight from this process or was journaled to disk by a worker
+        (``allow_nan=False`` surfaces any non-finite value loudly instead
+        of smuggling ``NaN`` through; cells encode "no sample" as null).
+        """
+        payload = self.thunk()
+        normalized: Payload = json.loads(
+            json.dumps(payload, sort_keys=True, allow_nan=False)
+        )
+        return normalized
+
+
+@dataclass
+class ExperimentPlan:
+    """A deterministic task grid plus its aggregation rule.
+
+    ``tasks`` is the grid in canonical order; ``merge_payloads`` folds a
+    ``{task_id: payload}`` mapping into the experiment's
+    :class:`SeriesResult`.  Merge MUST consume payloads keyed by task id
+    (never in completion order) so that serial and parallel execution
+    produce byte-identical results.
+    """
+
+    experiment: str
+    tasks: List[SimTask]
+    merge_payloads: Callable[[Mapping[str, Payload]], "SeriesResult"]
+
+    def __post_init__(self) -> None:
+        seen: Dict[str, int] = {}
+        for task in self.tasks:
+            if task.task_id in seen:
+                raise ValueError(
+                    f"plan {self.experiment!r} has duplicate task id "
+                    f"{task.task_id!r}"
+                )
+            seen[task.task_id] = 1
+
+    def task_ids(self) -> List[str]:
+        """Task ids in canonical grid order."""
+        return [task.task_id for task in self.tasks]
+
+    def task(self, task_id: str) -> SimTask:
+        """Look one task up by id (raises ``KeyError`` with context)."""
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(
+            f"plan {self.experiment!r} has no task {task_id!r} "
+            f"({len(self.tasks)} tasks in grid)"
+        )
+
+    def merge(self, payloads: Mapping[str, Payload]) -> "SeriesResult":
+        """Aggregate completed payloads (validates grid completeness)."""
+        missing = [
+            task.task_id for task in self.tasks if task.task_id not in payloads
+        ]
+        if missing:
+            raise ValueError(
+                f"cannot merge {self.experiment!r}: {len(missing)} of "
+                f"{len(self.tasks)} task payload(s) missing "
+                f"(first: {missing[0]!r})"
+            )
+        return self.merge_payloads(payloads)
+
+    def run_serial(self) -> "SeriesResult":
+        """Execute every task in grid order in-process, then merge."""
+        return self.merge({task.task_id: task.run() for task in self.tasks})
+
+
+def simulate_cell(
+    params: Parameters,
+    warmup: float,
+    duration: float,
+    metrics: Sequence[str],
+    seed: int,
+    workload=None,
+) -> Dict[str, Optional[float]]:
+    """Run ONE (parameter point, seed) simulation; extract *metrics*.
+
+    The single-cell unit of every task grid.  ``None``/NaN metric values
+    (e.g. no delay observations) are encoded as ``None`` so the payload
+    survives strict JSON; :func:`seed_mean` drops them on the other side
+    exactly as :func:`simulate_metrics` always has.
+    """
+    system = CollectionSystem(params, seed=seed, workload=workload)
+    report = system.run(warmup, duration)
+    cell: Dict[str, Optional[float]] = {}
+    for name in metrics:
+        value = getattr(report, name)
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            cell[name] = None
+        else:
+            cell[name] = float(value)
+    return cell
+
+
+def seed_mean(
+    payloads: Mapping[str, Payload],
+    cell_prefix: str,
+    seeds: Sequence[int],
+    metric: str,
+) -> float:
+    """Mean of *metric* over per-seed cells ``{cell_prefix}:seed={n}``.
+
+    Folds seeds in declared budget order (never completion order) with the
+    same drop-``None``/empty-is-NaN semantics as :func:`simulate_metrics`,
+    so a merged parallel run reproduces the serial mean bit for bit.
+    """
+    values: List[float] = []
+    for seed in seeds:
+        value = payloads[f"{cell_prefix}:seed={seed}"][metric]
+        if value is not None:
+            values.append(float(value))
+    return summarize(values).mean if values else math.nan
+
+
 def simulate_metrics(
     params: Parameters,
     budget: SimBudget,
@@ -147,19 +376,19 @@ def simulate_metrics(
 
     *metrics* names attributes of :class:`repro.sim.metrics.MetricsReport`.
     ``None``-valued samples (e.g. no delay observations) are dropped; if a
-    metric has no valid samples at all its mean is ``nan``.
+    metric has no valid samples at all its mean is ``nan``.  Implemented on
+    the same :func:`simulate_cell` unit the task grids execute, so serial
+    and sharded sweeps share one code path.
     """
-    samples: Dict[str, List[float]] = {name: [] for name in metrics}
-    for seed in budget.seeds:
-        system = CollectionSystem(params, seed=seed, workload=workload)
-        report = system.run(budget.warmup, budget.duration)
-        for name in metrics:
-            value = getattr(report, name)
-            if value is not None and not (
-                isinstance(value, float) and math.isnan(value)
-            ):
-                samples[name].append(float(value))
+    cells = [
+        simulate_cell(params, budget.warmup, budget.duration, metrics, seed,
+                      workload)
+        for seed in budget.seeds
+    ]
     out: Dict[str, float] = {}
-    for name, values in samples.items():
+    for name in metrics:
+        values = [
+            float(cell[name]) for cell in cells if cell[name] is not None
+        ]
         out[name] = summarize(values).mean if values else math.nan
     return out

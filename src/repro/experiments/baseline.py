@@ -32,16 +32,19 @@ coded copies outlive their source.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Mapping, Optional
 
 from repro.core.baseline import DirectCollectionSystem
 from repro.core.params import Parameters
 from repro.core.push import PushCollectionSystem
 from repro.core.system import CollectionSystem
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
 )
 from repro.stats.workload import FlashCrowdWorkload
@@ -74,13 +77,18 @@ class FlashCrowdScenario:
         return ["steady", "burst", "drain-1", "drain-2"]
 
 
-def run_baseline_comparison(
+def plan_baseline_comparison(
     quality: str = QUALITY_FAST,
     scenario: Optional[FlashCrowdScenario] = None,
     budget: Optional[SimBudget] = None,
     seed: int = 1,
-) -> SeriesResult:
-    """Run the flash-crowd three-way comparison; x-axis is the phase."""
+) -> ExperimentPlan:
+    """The three-way comparison as a task grid: one task per architecture.
+
+    Each architecture's phase sweep is sequential against its own shared
+    system state, so the natural cell is one whole system run; the three
+    systems are mutually independent and parallelize cleanly.
+    """
     scenario = scenario or FlashCrowdScenario()
     budget = budget or budget_for(quality)
     base_demand = budget.n_peers * scenario.base_rate
@@ -95,62 +103,115 @@ def run_baseline_comparison(
         n_servers=budget.n_servers,
         mean_lifetime=scenario.mean_lifetime,
     )
-    indirect = CollectionSystem(params, seed=seed, workload=scenario.workload())
-    pull = DirectCollectionSystem(params, seed=seed, workload=scenario.workload())
-    push = PushCollectionSystem(params, seed=seed, workload=scenario.workload())
 
-    intake = {"push": [], "pull": [], "indirect": []}
-    previous_end = 0.0
-    for phase_end in scenario.phase_ends:
-        duration = phase_end - previous_end
-        previous_end = phase_end
-        intake["indirect"].append(
-            indirect.run_phase(duration).throughput / base_demand
+    def phase_intake(system) -> List[float]:
+        intake: List[float] = []
+        previous_end = 0.0
+        for phase_end in scenario.phase_ends:
+            duration = phase_end - previous_end
+            previous_end = phase_end
+            intake.append(system.run_phase(duration).throughput / base_demand)
+        return intake
+
+    def run_push() -> Payload:
+        push = PushCollectionSystem(
+            params, seed=seed, workload=scenario.workload()
         )
-        intake["pull"].append(pull.run_phase(duration).throughput / base_demand)
-        intake["push"].append(push.run_phase(duration).throughput / base_demand)
+        intake = phase_intake(push)
+        return {"intake": intake, "loss_fraction": push.loss_fraction()}
 
-    result = SeriesResult(
-        name="baseline",
-        title=(
-            "Fig. 1(a) vs 1(b) — push / pull / indirect through a "
-            f"x{scenario.burst_multiplier:g} flash crowd with churn "
-            f"(c={scenario.normalized_capacity:g}, "
-            f"lambda_base={scenario.base_rate:g}, "
-            f"L={scenario.mean_lifetime:g})"
-        ),
-        x_name="phase",
-        x_values=list(range(1, len(scenario.phase_ends) + 1)),
-    )
-    for label in ("push", "pull", "indirect"):
-        result.add_series(f"{label} intake", intake[label])
+    def departed_payload(system) -> Payload:
+        departed = system.postmortem().departed
+        return {
+            "collected_fraction": departed.collected_fraction,
+            "recoverable": departed.recoverable,
+            "injected": departed.injected,
+        }
 
-    push_loss = push.loss_fraction()
-    pm_pull = pull.postmortem()
-    pm_indirect = indirect.postmortem()
-    for index, label in enumerate(scenario.phase_labels(), start=1):
-        result.add_note(f"phase {index}: {label}")
-    result.add_note(
-        "intake = usefully collected blocks per unit time / (N*lambda_base); "
-        "push and pull collect originals, indirect collects innovative "
-        "coded blocks (the paper's throughput metric)"
-    )
-    result.add_note(
-        f"push dropped {push_loss:.1%} of all uploads at the servers "
-        "(burst overload is lost permanently)"
-    )
-    result.add_note(
-        "departed-peer coverage (collected fraction of departed "
-        f"generations' data): pull {pm_pull.departed.collected_fraction:.1%}, "
-        f"indirect {pm_indirect.departed.collected_fraction:.1%}"
-    )
-    result.add_note(
-        "still recoverable from departed generations: pull "
-        f"{pm_pull.departed.recoverable / max(pm_pull.departed.injected, 1):.1%}, "
-        "indirect "
-        f"{pm_indirect.departed.recoverable / max(pm_indirect.departed.injected, 1):.1%}"
-    )
-    return result
+    def run_pull() -> Payload:
+        pull = DirectCollectionSystem(
+            params, seed=seed, workload=scenario.workload()
+        )
+        intake = phase_intake(pull)
+        return {"intake": intake, **departed_payload(pull)}
+
+    def run_indirect() -> Payload:
+        indirect = CollectionSystem(
+            params, seed=seed, workload=scenario.workload()
+        )
+        intake = phase_intake(indirect)
+        return {"intake": intake, **departed_payload(indirect)}
+
+    builders: List[tuple] = [
+        ("push", run_push), ("pull", run_pull), ("indirect", run_indirect)
+    ]
+    tasks = [
+        SimTask(task_id=f"{label}:seed={seed}", thunk=thunk)
+        for label, thunk in builders
+    ]
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        push = payloads[f"push:seed={seed}"]
+        pull = payloads[f"pull:seed={seed}"]
+        indirect = payloads[f"indirect:seed={seed}"]
+
+        result = SeriesResult(
+            name="baseline",
+            title=(
+                "Fig. 1(a) vs 1(b) — push / pull / indirect through a "
+                f"x{scenario.burst_multiplier:g} flash crowd with churn "
+                f"(c={scenario.normalized_capacity:g}, "
+                f"lambda_base={scenario.base_rate:g}, "
+                f"L={scenario.mean_lifetime:g})"
+            ),
+            x_name="phase",
+            x_values=list(range(1, len(scenario.phase_ends) + 1)),
+        )
+        for label, payload in (
+            ("push", push), ("pull", pull), ("indirect", indirect)
+        ):
+            result.add_series(
+                f"{label} intake", [float(v) for v in payload["intake"]]
+            )
+
+        for index, label in enumerate(scenario.phase_labels(), start=1):
+            result.add_note(f"phase {index}: {label}")
+        result.add_note(
+            "intake = usefully collected blocks per unit time / "
+            "(N*lambda_base); push and pull collect originals, indirect "
+            "collects innovative coded blocks (the paper's throughput "
+            "metric)"
+        )
+        result.add_note(
+            f"push dropped {push['loss_fraction']:.1%} of all uploads at "
+            "the servers (burst overload is lost permanently)"
+        )
+        result.add_note(
+            "departed-peer coverage (collected fraction of departed "
+            f"generations' data): pull {pull['collected_fraction']:.1%}, "
+            f"indirect {indirect['collected_fraction']:.1%}"
+        )
+        result.add_note(
+            "still recoverable from departed generations: pull "
+            f"{pull['recoverable'] / max(pull['injected'], 1):.1%}, "
+            "indirect "
+            f"{indirect['recoverable'] / max(indirect['injected'], 1):.1%}"
+        )
+        return result
+
+    return ExperimentPlan("baseline", tasks, merge)
+
+
+def run_baseline_comparison(
+    quality: str = QUALITY_FAST,
+    scenario: Optional[FlashCrowdScenario] = None,
+    budget: Optional[SimBudget] = None,
+    seed: int = 1,
+) -> SeriesResult:
+    """Run the flash-crowd three-way comparison; x-axis is the phase."""
+    return plan_baseline_comparison(
+        quality, scenario, budget, seed
+    ).run_serial()
 
 
 def main(quality: str = QUALITY_FAST) -> SeriesResult:

@@ -20,16 +20,21 @@ for this figure).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Mapping, Optional, Sequence
 
 from repro.analysis.theorems import analyze
 from repro.core.params import Parameters
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
-    simulate_metrics,
+    seed_mean,
+    simulate_cell,
 )
 
 #: Paper parameters for Fig. 3.
@@ -43,37 +48,25 @@ SEGMENT_SIZES = {
 }
 CAPACITIES = (4.0, 8.0, 12.0)
 
+METRICS = ("normalized_throughput",)
 
-def run_fig3(
+
+def plan_fig3(
     quality: str = QUALITY_FAST,
     segment_sizes: Optional[Sequence[int]] = None,
     capacities: Sequence[float] = CAPACITIES,
     budget: Optional[SimBudget] = None,
     include_simulation: bool = True,
-) -> SeriesResult:
-    """Regenerate Fig. 3's series; returns the table-ready result."""
+) -> ExperimentPlan:
+    """Fig. 3 as a task grid: one cell per (c, s, seed) simulation."""
     if segment_sizes is None:
         segment_sizes = SEGMENT_SIZES["full" if quality == "full" else "fast"]
     budget = budget or budget_for(quality)
     x_values = [float(s) for s in segment_sizes]
-    result = SeriesResult(
-        name="fig3",
-        title=(
-            "Fig. 3 — normalized session throughput vs segment size s "
-            f"(lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
-            f"gamma={DELETION_RATE:g})"
-        ),
-        x_name="s",
-        x_values=x_values,
-    )
-    for c in capacities:
-        analytic = []
-        for s in segment_sizes:
-            point = analyze(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, c)
-            analytic.append(point.throughput.normalized_throughput)
-        result.add_series(f"analytic c={c:g}", analytic)
-        if include_simulation:
-            simulated = []
+
+    tasks = []
+    if include_simulation:
+        for c in capacities:
             for s in segment_sizes:
                 params = Parameters(
                     n_peers=budget.n_peers,
@@ -84,18 +77,66 @@ def run_fig3(
                     segment_size=s,
                     n_servers=budget.n_servers,
                 )
-                metrics = simulate_metrics(
-                    params, budget, ("normalized_throughput",)
-                )
-                simulated.append(metrics["normalized_throughput"])
-            result.add_series(f"sim c={c:g}", simulated)
-        capacity_line = min(c / ARRIVAL_RATE, 1.0)
-        result.add_series(f"capacity c={c:g}", [capacity_line] * len(x_values))
-    result.add_note(
-        "shape target: throughput rises with s toward each capacity line, "
-        "saturating by s~20-30; the gap is widest for the largest c"
-    )
-    return result
+                for seed in budget.seeds:
+                    tasks.append(SimTask(
+                        task_id=f"c={c:g}:s={s}:seed={seed}",
+                        thunk=partial(
+                            simulate_cell, params, budget.warmup,
+                            budget.duration, METRICS, seed,
+                        ),
+                    ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="fig3",
+            title=(
+                "Fig. 3 — normalized session throughput vs segment size s "
+                f"(lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
+                f"gamma={DELETION_RATE:g})"
+            ),
+            x_name="s",
+            x_values=x_values,
+        )
+        for c in capacities:
+            analytic = []
+            for s in segment_sizes:
+                point = analyze(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, c)
+                analytic.append(point.throughput.normalized_throughput)
+            result.add_series(f"analytic c={c:g}", analytic)
+            if include_simulation:
+                simulated = [
+                    seed_mean(
+                        payloads, f"c={c:g}:s={s}", budget.seeds,
+                        "normalized_throughput",
+                    )
+                    for s in segment_sizes
+                ]
+                result.add_series(f"sim c={c:g}", simulated)
+            capacity_line = min(c / ARRIVAL_RATE, 1.0)
+            result.add_series(
+                f"capacity c={c:g}", [capacity_line] * len(x_values)
+            )
+        result.add_note(
+            "shape target: throughput rises with s toward each capacity "
+            "line, saturating by s~20-30; the gap is widest for the "
+            "largest c"
+        )
+        return result
+
+    return ExperimentPlan("fig3", tasks, merge)
+
+
+def run_fig3(
+    quality: str = QUALITY_FAST,
+    segment_sizes: Optional[Sequence[int]] = None,
+    capacities: Sequence[float] = CAPACITIES,
+    budget: Optional[SimBudget] = None,
+    include_simulation: bool = True,
+) -> SeriesResult:
+    """Regenerate Fig. 3's series; returns the table-ready result."""
+    return plan_fig3(
+        quality, segment_sizes, capacities, budget, include_simulation
+    ).run_serial()
 
 
 def main(quality: str = QUALITY_FAST) -> SeriesResult:

@@ -22,15 +22,20 @@ not model churn, so this figure is simulation-driven there as well.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Mapping, Optional, Sequence
 
 from repro.core.params import Parameters
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
-    simulate_metrics,
+    seed_mean,
+    simulate_cell,
 )
 
 #: Paper parameters for Fig. 4.
@@ -47,30 +52,24 @@ MU_VALUES = {
 #: (c, s) scenario grid: ample vs scarce capacity, no coding vs heavy coding.
 SCENARIOS = ((8.0, 1), (8.0, 30), (2.0, 1), (2.0, 30))
 
+METRICS = ("normalized_throughput",)
 
-def run_fig4(
+
+def plan_fig4(
     quality: str = QUALITY_FAST,
     mu_values: Optional[Sequence[float]] = None,
     scenarios: Sequence = SCENARIOS,
     budget: Optional[SimBudget] = None,
-) -> SeriesResult:
-    """Regenerate Fig. 4's series; returns the table-ready result."""
+) -> ExperimentPlan:
+    """Fig. 4 as a task grid: one cell per (c, s, regime, mu, seed)."""
     if mu_values is None:
         mu_values = MU_VALUES["full" if quality == "full" else "fast"]
     budget = budget or budget_for(quality)
-    result = SeriesResult(
-        name="fig4",
-        title=(
-            "Fig. 4 — normalized session throughput vs mu "
-            f"(lambda={ARRIVAL_RATE:g}, gamma={DELETION_RATE:g}, "
-            f"churn lifetime L={CHURN_LIFETIME:g})"
-        ),
-        x_name="mu",
-        x_values=[float(mu) for mu in mu_values],
-    )
+
+    tasks = []
     for c, s in scenarios:
         for churned in (False, True):
-            values = []
+            regime = "churn" if churned else "static"
             for mu in mu_values:
                 params = Parameters(
                     n_peers=budget.n_peers,
@@ -82,18 +81,60 @@ def run_fig4(
                     n_servers=budget.n_servers,
                     mean_lifetime=CHURN_LIFETIME if churned else None,
                 )
-                metrics = simulate_metrics(
-                    params, budget, ("normalized_throughput",)
+                for seed in budget.seeds:
+                    tasks.append(SimTask(
+                        task_id=(
+                            f"c={c:g}:s={s}:{regime}:mu={mu:g}:seed={seed}"
+                        ),
+                        thunk=partial(
+                            simulate_cell, params, budget.warmup,
+                            budget.duration, METRICS, seed,
+                        ),
+                    ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="fig4",
+            title=(
+                "Fig. 4 — normalized session throughput vs mu "
+                f"(lambda={ARRIVAL_RATE:g}, gamma={DELETION_RATE:g}, "
+                f"churn lifetime L={CHURN_LIFETIME:g})"
+            ),
+            x_name="mu",
+            x_values=[float(mu) for mu in mu_values],
+        )
+        for c, s in scenarios:
+            for churned in (False, True):
+                regime = "churn" if churned else "static"
+                values = [
+                    seed_mean(
+                        payloads, f"c={c:g}:s={s}:{regime}:mu={mu:g}",
+                        budget.seeds, "normalized_throughput",
+                    )
+                    for mu in mu_values
+                ]
+                label = f"c={c:g} s={s}" + (
+                    " churn" if churned else " static"
                 )
-                values.append(metrics["normalized_throughput"])
-            label = f"c={c:g} s={s}" + (" churn" if churned else " static")
-            result.add_series(label, values)
-    result.add_note(
-        "shape target: with ample capacity (c=lambda=8) churn+large s "
-        "degrades throughput; with scarce capacity (c=2) larger s and mu "
-        "help even under churn"
-    )
-    return result
+                result.add_series(label, values)
+        result.add_note(
+            "shape target: with ample capacity (c=lambda=8) churn+large s "
+            "degrades throughput; with scarce capacity (c=2) larger s and "
+            "mu help even under churn"
+        )
+        return result
+
+    return ExperimentPlan("fig4", tasks, merge)
+
+
+def run_fig4(
+    quality: str = QUALITY_FAST,
+    mu_values: Optional[Sequence[float]] = None,
+    scenarios: Sequence = SCENARIOS,
+    budget: Optional[SimBudget] = None,
+) -> SeriesResult:
+    """Regenerate Fig. 4's series; returns the table-ready result."""
+    return plan_fig4(quality, mu_values, scenarios, budget).run_serial()
 
 
 def main(quality: str = QUALITY_FAST) -> SeriesResult:

@@ -20,16 +20,21 @@ this with Fig. 3 into the recommendation ``s in [20, 40]``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Mapping, Optional, Sequence
 
 from repro.analysis.theorems import analyze
 from repro.core.params import Parameters
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
-    simulate_metrics,
+    seed_mean,
+    simulate_cell,
 )
 from repro.experiments.fig3 import (
     ARRIVAL_RATE,
@@ -39,40 +44,24 @@ from repro.experiments.fig3 import (
     SEGMENT_SIZES,
 )
 
+METRICS = ("mean_block_delay",)
 
-def run_fig5(
+
+def plan_fig5(
     quality: str = QUALITY_FAST,
     segment_sizes: Optional[Sequence[int]] = None,
     capacities: Sequence[float] = CAPACITIES,
     budget: Optional[SimBudget] = None,
     include_simulation: bool = True,
-) -> SeriesResult:
-    """Regenerate Fig. 5's series; returns the table-ready result."""
+) -> ExperimentPlan:
+    """Fig. 5 as a task grid: one cell per (c, s, seed) simulation."""
     if segment_sizes is None:
         segment_sizes = SEGMENT_SIZES["full" if quality == "full" else "fast"]
     budget = budget or budget_for(quality)
-    result = SeriesResult(
-        name="fig5",
-        title=(
-            "Fig. 5 — average block delivery delay T(s) "
-            f"(lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
-            f"gamma={DELETION_RATE:g})"
-        ),
-        x_name="s",
-        x_values=[float(s) for s in segment_sizes],
-    )
-    negative_flagged = False
-    for c in capacities:
-        analytic = []
-        for s in segment_sizes:
-            point = analyze(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, c)
-            delay = point.delay.block_delay
-            if delay < 0:
-                negative_flagged = True
-            analytic.append(delay)
-        result.add_series(f"analytic c={c:g}", analytic)
-        if include_simulation:
-            simulated = []
+
+    tasks = []
+    if include_simulation:
+        for c in capacities:
             for s in segment_sizes:
                 params = Parameters(
                     n_peers=budget.n_peers,
@@ -83,20 +72,71 @@ def run_fig5(
                     segment_size=s,
                     n_servers=budget.n_servers,
                 )
-                metrics = simulate_metrics(params, budget, ("mean_block_delay",))
-                simulated.append(metrics["mean_block_delay"])
-            result.add_series(f"sim c={c:g}", simulated)
-    if negative_flagged:
-        result.add_note(
-            "negative analytic delays mark heavy-loss corners where "
-            "Theorem 3's eventually-reconstructed assumption fails; the "
-            "simulated (observed) delay is the physical value there"
+                for seed in budget.seeds:
+                    tasks.append(SimTask(
+                        task_id=f"c={c:g}:s={s}:seed={seed}",
+                        thunk=partial(
+                            simulate_cell, params, budget.warmup,
+                            budget.duration, METRICS, seed,
+                        ),
+                    ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="fig5",
+            title=(
+                "Fig. 5 — average block delivery delay T(s) "
+                f"(lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
+                f"gamma={DELETION_RATE:g})"
+            ),
+            x_name="s",
+            x_values=[float(s) for s in segment_sizes],
         )
-    result.add_note(
-        "shape target: delay peaks at a small coded s (paper: ~5) and "
-        "decreases for large s"
-    )
-    return result
+        negative_flagged = False
+        for c in capacities:
+            analytic = []
+            for s in segment_sizes:
+                point = analyze(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, c)
+                delay = point.delay.block_delay
+                if delay < 0:
+                    negative_flagged = True
+                analytic.append(delay)
+            result.add_series(f"analytic c={c:g}", analytic)
+            if include_simulation:
+                simulated = [
+                    seed_mean(
+                        payloads, f"c={c:g}:s={s}", budget.seeds,
+                        "mean_block_delay",
+                    )
+                    for s in segment_sizes
+                ]
+                result.add_series(f"sim c={c:g}", simulated)
+        if negative_flagged:
+            result.add_note(
+                "negative analytic delays mark heavy-loss corners where "
+                "Theorem 3's eventually-reconstructed assumption fails; the "
+                "simulated (observed) delay is the physical value there"
+            )
+        result.add_note(
+            "shape target: delay peaks at a small coded s (paper: ~5) and "
+            "decreases for large s"
+        )
+        return result
+
+    return ExperimentPlan("fig5", tasks, merge)
+
+
+def run_fig5(
+    quality: str = QUALITY_FAST,
+    segment_sizes: Optional[Sequence[int]] = None,
+    capacities: Sequence[float] = CAPACITIES,
+    budget: Optional[SimBudget] = None,
+    include_simulation: bool = True,
+) -> SeriesResult:
+    """Regenerate Fig. 5's series; returns the table-ready result."""
+    return plan_fig5(
+        quality, segment_sizes, capacities, budget, include_simulation
+    ).run_serial()
 
 
 def main(quality: str = QUALITY_FAST) -> SeriesResult:

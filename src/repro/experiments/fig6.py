@@ -18,16 +18,21 @@ at every s, the guaranteed delayed-delivery reserve the paper emphasizes.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Mapping, Optional, Sequence
 
 from repro.analysis.theorems import analyze
 from repro.core.params import Parameters
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
-    simulate_metrics,
+    seed_mean,
+    simulate_cell,
 )
 from repro.experiments.fig3 import (
     ARRIVAL_RATE,
@@ -37,36 +42,24 @@ from repro.experiments.fig3 import (
     SEGMENT_SIZES,
 )
 
+METRICS = ("saved_blocks_per_peer",)
 
-def run_fig6(
+
+def plan_fig6(
     quality: str = QUALITY_FAST,
     segment_sizes: Optional[Sequence[int]] = None,
     capacities: Sequence[float] = CAPACITIES,
     budget: Optional[SimBudget] = None,
     include_simulation: bool = True,
-) -> SeriesResult:
-    """Regenerate Fig. 6's series; returns the table-ready result."""
+) -> ExperimentPlan:
+    """Fig. 6 as a task grid: one cell per (c, s, seed) simulation."""
     if segment_sizes is None:
         segment_sizes = SEGMENT_SIZES["full" if quality == "full" else "fast"]
     budget = budget or budget_for(quality)
-    result = SeriesResult(
-        name="fig6",
-        title=(
-            "Fig. 6 — original blocks per peer saved for future delivery "
-            f"(lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
-            f"gamma={DELETION_RATE:g})"
-        ),
-        x_name="s",
-        x_values=[float(s) for s in segment_sizes],
-    )
-    for c in capacities:
-        analytic = []
-        for s in segment_sizes:
-            point = analyze(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, c)
-            analytic.append(point.saved.saved_blocks_per_peer)
-        result.add_series(f"analytic c={c:g}", analytic)
-        if include_simulation:
-            simulated = []
+
+    tasks = []
+    if include_simulation:
+        for c in capacities:
             for s in segment_sizes:
                 params = Parameters(
                     n_peers=budget.n_peers,
@@ -77,17 +70,62 @@ def run_fig6(
                     segment_size=s,
                     n_servers=budget.n_servers,
                 )
-                metrics = simulate_metrics(
-                    params, budget, ("saved_blocks_per_peer",)
-                )
-                simulated.append(metrics["saved_blocks_per_peer"])
-            result.add_series(f"sim c={c:g}", simulated)
-    result.add_note(
-        "shape target: saved data decreases with s (throughput rises while "
-        "total buffering is s-independent) but stays positive — the "
-        "guaranteed delayed-delivery reserve"
-    )
-    return result
+                for seed in budget.seeds:
+                    tasks.append(SimTask(
+                        task_id=f"c={c:g}:s={s}:seed={seed}",
+                        thunk=partial(
+                            simulate_cell, params, budget.warmup,
+                            budget.duration, METRICS, seed,
+                        ),
+                    ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="fig6",
+            title=(
+                "Fig. 6 — original blocks per peer saved for future "
+                f"delivery (lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
+                f"gamma={DELETION_RATE:g})"
+            ),
+            x_name="s",
+            x_values=[float(s) for s in segment_sizes],
+        )
+        for c in capacities:
+            analytic = []
+            for s in segment_sizes:
+                point = analyze(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, c)
+                analytic.append(point.saved.saved_blocks_per_peer)
+            result.add_series(f"analytic c={c:g}", analytic)
+            if include_simulation:
+                simulated = [
+                    seed_mean(
+                        payloads, f"c={c:g}:s={s}", budget.seeds,
+                        "saved_blocks_per_peer",
+                    )
+                    for s in segment_sizes
+                ]
+                result.add_series(f"sim c={c:g}", simulated)
+        result.add_note(
+            "shape target: saved data decreases with s (throughput rises "
+            "while total buffering is s-independent) but stays positive — "
+            "the guaranteed delayed-delivery reserve"
+        )
+        return result
+
+    return ExperimentPlan("fig6", tasks, merge)
+
+
+def run_fig6(
+    quality: str = QUALITY_FAST,
+    segment_sizes: Optional[Sequence[int]] = None,
+    capacities: Sequence[float] = CAPACITIES,
+    budget: Optional[SimBudget] = None,
+    include_simulation: bool = True,
+) -> SeriesResult:
+    """Regenerate Fig. 6's series; returns the table-ready result."""
+    return plan_fig6(
+        quality, segment_sizes, capacities, budget, include_simulation
+    ).run_serial()
 
 
 def main(quality: str = QUALITY_FAST) -> SeriesResult:

@@ -27,18 +27,23 @@ original bytes — zero tolerance, recorded as a table note.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from functools import partial
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.params import Parameters
 from repro.core.system import CollectionSystem
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
-    simulate_metrics,
+    seed_mean,
+    simulate_cell,
 )
 from repro.faults import FaultPlan
 from repro.sim.rng import SeedSequenceRegistry
@@ -49,6 +54,9 @@ BURST_RATE = 0.5
 
 #: The four fault channels: name -> FaultPlan builder over the severity.
 CHANNELS = ("loss", "pollution", "outage", "bursts")
+
+WANTED = ("normalized_goodput", "mean_block_delay", "transfers_dropped",
+          "blocks_rejected_polluted", "outage_time", "burst_departures")
 
 
 def plan_for(channel: str, severity: float) -> FaultPlan:
@@ -87,59 +95,111 @@ def _ratio(value: float, baseline: float) -> float:
     return value / baseline
 
 
+def _audit_cell() -> Payload:
+    rejected, corrupted, decoded = rlnc_pollution_audit()
+    return {"rejected": rejected, "corrupted": corrupted, "decoded": decoded}
+
+
+def plan_robustness(
+    quality: str = QUALITY_FAST,
+    severities: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.45),
+    budget: Optional[SimBudget] = None,
+) -> ExperimentPlan:
+    """E-ROBUST as a task grid.
+
+    One shared fault-free baseline cell per seed (reused by every
+    channel's severity-0 point), one cell per (channel, severity > 0,
+    seed), plus the standalone RLNC pollution-audit task.
+    """
+    budget = budget or budget_for(quality)
+
+    tasks = []
+    for seed in budget.seeds:
+        tasks.append(SimTask(
+            task_id=f"baseline:seed={seed}",
+            thunk=partial(
+                simulate_cell, _base_params(budget, FaultPlan()),
+                budget.warmup, budget.duration, WANTED, seed,
+            ),
+        ))
+    for channel in CHANNELS:
+        for severity in severities:
+            if severity == 0.0:
+                continue
+            params = _base_params(budget, plan_for(channel, severity))
+            for seed in budget.seeds:
+                tasks.append(SimTask(
+                    task_id=f"{channel}:severity={severity:g}:seed={seed}",
+                    thunk=partial(
+                        simulate_cell, params, budget.warmup,
+                        budget.duration, WANTED, seed,
+                    ),
+                ))
+    tasks.append(SimTask(task_id="audit", thunk=_audit_cell))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="robustness",
+            title="Robustness — fault injection: delivery ratio and delay "
+            "inflation vs fault-free baseline "
+            "(lambda=8, mu=10, gamma=1, c=4, s=8)",
+            x_name="severity",
+            x_values=[float(s) for s in severities],
+        )
+        baseline: Dict[str, float] = {
+            name: seed_mean(payloads, "baseline", budget.seeds, name)
+            for name in WANTED
+        }
+        base_goodput = baseline["normalized_goodput"]
+        base_delay = baseline["mean_block_delay"]
+        result.add_note(
+            f"fault-free baseline: normalized goodput {base_goodput:.4f}, "
+            f"mean block delay {base_delay:.4f}"
+        )
+        for channel in CHANNELS:
+            delivery, inflation = [], []
+            for severity in severities:
+                if severity == 0.0:
+                    metrics = baseline
+                else:
+                    prefix = f"{channel}:severity={severity:g}"
+                    metrics = {
+                        name: seed_mean(payloads, prefix, budget.seeds, name)
+                        for name in ("normalized_goodput", "mean_block_delay")
+                    }
+                delivery.append(
+                    _ratio(metrics["normalized_goodput"], base_goodput)
+                )
+                inflation.append(
+                    _ratio(metrics["mean_block_delay"], base_delay)
+                )
+            result.add_series(f"delivery ratio: {channel}", delivery)
+            result.add_series(f"delay inflation: {channel}", inflation)
+        audit = payloads["audit"]
+        result.add_note(
+            f"rlnc pollution audit: {audit['rejected']} polluted blocks "
+            f"rejected by rank detection, {audit['corrupted']} corrupted "
+            f"decodes across {audit['decoded']} reconstructed segments "
+            "(must be 0 corrupted)"
+        )
+        result.add_note(
+            "expected: delivery ratio degrades monotonically in loss "
+            "severity; outages trade delay for little goodput (buffers "
+            "absorb downtime); pollution wastes bandwidth in proportion to "
+            "the polluter fraction"
+        )
+        return result
+
+    return ExperimentPlan("robustness", tasks, merge)
+
+
 def run_robustness(
     quality: str = QUALITY_FAST,
     severities: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.45),
     budget: Optional[SimBudget] = None,
 ) -> SeriesResult:
     """E-ROBUST: sweep fault severity per channel vs the fault-free run."""
-    budget = budget or budget_for(quality)
-    result = SeriesResult(
-        name="robustness",
-        title="Robustness — fault injection: delivery ratio and delay "
-        "inflation vs fault-free baseline "
-        "(lambda=8, mu=10, gamma=1, c=4, s=8)",
-        x_name="severity",
-        x_values=[float(s) for s in severities],
-    )
-    wanted = ("normalized_goodput", "mean_block_delay", "transfers_dropped",
-              "blocks_rejected_polluted", "outage_time", "burst_departures")
-    baseline = simulate_metrics(
-        _base_params(budget, FaultPlan()), budget, wanted
-    )
-    base_goodput = baseline["normalized_goodput"]
-    base_delay = baseline["mean_block_delay"]
-    result.add_note(
-        f"fault-free baseline: normalized goodput {base_goodput:.4f}, "
-        f"mean block delay {base_delay:.4f}"
-    )
-    for channel in CHANNELS:
-        delivery, inflation = [], []
-        for severity in severities:
-            if severity == 0.0:
-                metrics: Dict[str, float] = baseline
-            else:
-                metrics = simulate_metrics(
-                    _base_params(budget, plan_for(channel, severity)),
-                    budget,
-                    wanted,
-                )
-            delivery.append(_ratio(metrics["normalized_goodput"], base_goodput))
-            inflation.append(_ratio(metrics["mean_block_delay"], base_delay))
-        result.add_series(f"delivery ratio: {channel}", delivery)
-        result.add_series(f"delay inflation: {channel}", inflation)
-    rejected, corrupted, decoded = rlnc_pollution_audit()
-    result.add_note(
-        f"rlnc pollution audit: {rejected} polluted blocks rejected by rank "
-        f"detection, {corrupted} corrupted decodes across {decoded} "
-        f"reconstructed segments (must be 0 corrupted)"
-    )
-    result.add_note(
-        "expected: delivery ratio degrades monotonically in loss severity; "
-        "outages trade delay for little goodput (buffers absorb downtime); "
-        "pollution wastes bandwidth in proportion to the polluter fraction"
-    )
-    return result
+    return plan_robustness(quality, severities, budget).run_serial()
 
 
 def rlnc_pollution_audit(

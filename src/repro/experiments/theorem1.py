@@ -16,17 +16,22 @@ of occupancy and the empty-peer fraction:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from functools import partial
+from typing import Mapping, Optional, Sequence
 
 from repro.analysis.ode import CollectionODE
 from repro.analysis.theorems import theorem1_storage
 from repro.core.params import Parameters
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
-    simulate_metrics,
+    seed_mean,
+    simulate_cell,
 )
 from repro.experiments.fig3 import ARRIVAL_RATE, DELETION_RATE, GOSSIP_RATE
 
@@ -38,46 +43,20 @@ SEGMENT_SIZES = {
 #: mid-range value so the same runs double as a throughput sanity check.
 CAPACITY = 8.0
 
+METRICS = ("mean_buffer_occupancy", "empty_peer_fraction", "storage_overhead")
 
-def run_theorem1(
+
+def plan_theorem1(
     quality: str = QUALITY_FAST,
     segment_sizes: Optional[Sequence[int]] = None,
     budget: Optional[SimBudget] = None,
-) -> SeriesResult:
-    """Validate Theorem 1's occupancy/overhead across segment sizes."""
+) -> ExperimentPlan:
+    """Theorem 1 validation as a task grid: one cell per (s, seed)."""
     if segment_sizes is None:
         segment_sizes = SEGMENT_SIZES["full" if quality == "full" else "fast"]
     budget = budget or budget_for(quality)
-    closed = theorem1_storage(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE)
 
-    result = SeriesResult(
-        name="theorem1",
-        title=(
-            "Theorem 1 — buffer occupancy rho and storage overhead "
-            f"(lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
-            f"gamma={DELETION_RATE:g}; bound mu/gamma="
-            f"{GOSSIP_RATE / DELETION_RATE:g})"
-        ),
-        x_name="s",
-        x_values=[float(s) for s in segment_sizes],
-    )
-    n_points = len(segment_sizes)
-    result.add_series("closed-form rho", [closed.occupancy] * n_points)
-    result.add_series("closed-form z0", [closed.z0] * n_points)
-
-    ode_rho, ode_z0 = [], []
-    for s in segment_sizes:
-        model = CollectionODE(
-            ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, CAPACITY
-        )
-        z, _ = model.steady_z()
-        degrees = range(len(z))
-        ode_rho.append(float(sum(i * z[i] for i in degrees)))
-        ode_z0.append(float(z[0]))
-    result.add_series("ODE rho", ode_rho)
-    result.add_series("ODE z0", ode_z0)
-
-    sim_rho, sim_z0, sim_overhead = [], [], []
+    tasks = []
     for s in segment_sizes:
         params = Parameters(
             n_peers=budget.n_peers,
@@ -88,22 +67,77 @@ def run_theorem1(
             segment_size=s,
             n_servers=budget.n_servers,
         )
-        metrics = simulate_metrics(
-            params,
-            budget,
-            ("mean_buffer_occupancy", "empty_peer_fraction", "storage_overhead"),
+        for seed in budget.seeds:
+            tasks.append(SimTask(
+                task_id=f"s={s}:seed={seed}",
+                thunk=partial(
+                    simulate_cell, params, budget.warmup, budget.duration,
+                    METRICS, seed,
+                ),
+            ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        closed = theorem1_storage(ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE)
+        result = SeriesResult(
+            name="theorem1",
+            title=(
+                "Theorem 1 — buffer occupancy rho and storage overhead "
+                f"(lambda={ARRIVAL_RATE:g}, mu={GOSSIP_RATE:g}, "
+                f"gamma={DELETION_RATE:g}; bound mu/gamma="
+                f"{GOSSIP_RATE / DELETION_RATE:g})"
+            ),
+            x_name="s",
+            x_values=[float(s) for s in segment_sizes],
         )
-        sim_rho.append(metrics["mean_buffer_occupancy"])
-        sim_z0.append(metrics["empty_peer_fraction"])
-        sim_overhead.append(metrics["storage_overhead"])
-    result.add_series("sim rho", sim_rho)
-    result.add_series("sim z0", sim_z0)
-    result.add_series("sim overhead", sim_overhead)
-    result.add_note(
-        "Theorem 1 claims rho is independent of s and overhead < mu/gamma "
-        f"= {GOSSIP_RATE / DELETION_RATE:g}"
-    )
-    return result
+        n_points = len(segment_sizes)
+        result.add_series("closed-form rho", [closed.occupancy] * n_points)
+        result.add_series("closed-form z0", [closed.z0] * n_points)
+
+        ode_rho, ode_z0 = [], []
+        for s in segment_sizes:
+            model = CollectionODE(
+                ARRIVAL_RATE, GOSSIP_RATE, DELETION_RATE, s, CAPACITY
+            )
+            z, _ = model.steady_z()
+            degrees = range(len(z))
+            ode_rho.append(float(sum(i * z[i] for i in degrees)))
+            ode_z0.append(float(z[0]))
+        result.add_series("ODE rho", ode_rho)
+        result.add_series("ODE z0", ode_z0)
+
+        sim_rho, sim_z0, sim_overhead = [], [], []
+        for s in segment_sizes:
+            prefix = f"s={s}"
+            sim_rho.append(
+                seed_mean(payloads, prefix, budget.seeds,
+                          "mean_buffer_occupancy")
+            )
+            sim_z0.append(
+                seed_mean(payloads, prefix, budget.seeds,
+                          "empty_peer_fraction")
+            )
+            sim_overhead.append(
+                seed_mean(payloads, prefix, budget.seeds, "storage_overhead")
+            )
+        result.add_series("sim rho", sim_rho)
+        result.add_series("sim z0", sim_z0)
+        result.add_series("sim overhead", sim_overhead)
+        result.add_note(
+            "Theorem 1 claims rho is independent of s and overhead < "
+            f"mu/gamma = {GOSSIP_RATE / DELETION_RATE:g}"
+        )
+        return result
+
+    return ExperimentPlan("theorem1", tasks, merge)
+
+
+def run_theorem1(
+    quality: str = QUALITY_FAST,
+    segment_sizes: Optional[Sequence[int]] = None,
+    budget: Optional[SimBudget] = None,
+) -> SeriesResult:
+    """Validate Theorem 1's occupancy/overhead across segment sizes."""
+    return plan_theorem1(quality, segment_sizes, budget).run_serial()
 
 
 def main(quality: str = QUALITY_FAST) -> SeriesResult:

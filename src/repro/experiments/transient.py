@@ -20,7 +20,7 @@ is cleared — and the fluid and event-level curves track each other.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Mapping, Optional
 
 import numpy as np
 
@@ -28,9 +28,12 @@ from repro.analysis.transient import TransientCollectionODE
 from repro.core.params import Parameters
 from repro.core.system import CollectionSystem
 from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
     QUALITY_FAST,
     SeriesResult,
     SimBudget,
+    SimTask,
     budget_for,
 )
 from repro.stats.workload import FlashCrowdWorkload
@@ -54,6 +57,103 @@ def _workload() -> FlashCrowdWorkload:
     )
 
 
+def plan_transient(
+    quality: str = QUALITY_FAST,
+    budget: Optional[SimBudget] = None,
+    n_samples: int = 9,
+    seed: int = 1,
+) -> ExperimentPlan:
+    """The flash-crowd comparison as a (single-task) grid.
+
+    The event simulation samples its phases sequentially against one
+    shared system, so it is indivisible — one task carries the whole
+    phase sweep; the fluid model and demand curve are deterministic and
+    computed in the merge step.
+    """
+    budget = budget or budget_for(quality)
+    sample_times = np.linspace(HORIZON / n_samples, HORIZON, n_samples)
+
+    def run_phases() -> Payload:
+        params = Parameters(
+            n_peers=budget.n_peers,
+            arrival_rate=BASE_RATE,
+            gossip_rate=GOSSIP_RATE,
+            deletion_rate=DELETION_RATE,
+            normalized_capacity=CAPACITY,
+            segment_size=SEGMENT_SIZE,
+            n_servers=budget.n_servers,
+        )
+        system = CollectionSystem(params, seed=seed, workload=_workload())
+        sim_occupancy: List[float] = []
+        sim_intake: List[float] = []
+        previous = 0.0
+        for t in sample_times:
+            report = system.run_phase(float(t - previous))
+            previous = float(t)
+            sim_occupancy.append(report.mean_buffer_occupancy)
+            sim_intake.append(report.throughput / budget.n_peers)
+        return {"sim_occupancy": sim_occupancy, "sim_intake": sim_intake}
+
+    tasks = [SimTask(task_id=f"phases:seed={seed}", thunk=run_phases)]
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        phases = payloads[f"phases:seed={seed}"]
+
+        model = TransientCollectionODE(
+            workload=_workload(),
+            gossip_rate=GOSSIP_RATE,
+            deletion_rate=DELETION_RATE,
+            segment_size=SEGMENT_SIZE,
+            normalized_capacity=CAPACITY,
+        )
+        trajectory = model.simulate(HORIZON, n_points=160)
+
+        def fluid_at(series: np.ndarray, t: float) -> float:
+            return float(np.interp(t, trajectory.times, series))
+
+        result = SeriesResult(
+            name="transient",
+            title=(
+                "Flash crowd at the fluid limit vs event simulation "
+                f"(x{BURST_MULTIPLIER:g} burst on "
+                f"[{BURST_START:g},{BURST_END:g}), "
+                f"c={CAPACITY:g}, s={SEGMENT_SIZE})"
+            ),
+            x_name="t",
+            x_values=[float(t) for t in sample_times],
+        )
+        result.add_series(
+            "demand", [_workload().rate(t - 1e-9) for t in sample_times]
+        )
+        result.add_series(
+            "fluid occupancy",
+            [fluid_at(trajectory.occupancy, t) for t in sample_times],
+        )
+        result.add_series(
+            "sim occupancy", [float(v) for v in phases["sim_occupancy"]]
+        )
+        result.add_series(
+            "fluid intake",
+            [fluid_at(trajectory.collection_rate, t) for t in sample_times],
+        )
+        result.add_series(
+            "sim intake", [float(v) for v in phases["sim_intake"]]
+        )
+        result.add_note(
+            "occupancy = buffered blocks per peer; intake = useful server "
+            "pulls per peer per unit time (capacity line c = "
+            f"{CAPACITY:g}); sim values are per-interval averages"
+        )
+        result.add_note(
+            "shape target: occupancy swells through the burst and drains "
+            "after (buffering zone); intake swings far less than demand "
+            "(smoothing) and the fluid and event curves track each other"
+        )
+        return result
+
+    return ExperimentPlan("transient", tasks, merge)
+
+
 def run_transient(
     quality: str = QUALITY_FAST,
     budget: Optional[SimBudget] = None,
@@ -61,72 +161,7 @@ def run_transient(
     seed: int = 1,
 ) -> SeriesResult:
     """Run the fluid model and the event simulator through the same burst."""
-    budget = budget or budget_for(quality)
-    sample_times = np.linspace(HORIZON / n_samples, HORIZON, n_samples)
-
-    # ---- fluid limit ------------------------------------------------------
-    model = TransientCollectionODE(
-        workload=_workload(),
-        gossip_rate=GOSSIP_RATE,
-        deletion_rate=DELETION_RATE,
-        segment_size=SEGMENT_SIZE,
-        normalized_capacity=CAPACITY,
-    )
-    trajectory = model.simulate(HORIZON, n_points=160)
-
-    def fluid_at(series: np.ndarray, t: float) -> float:
-        return float(np.interp(t, trajectory.times, series))
-
-    # ---- event simulation, sampled per interval ---------------------------
-    params = Parameters(
-        n_peers=budget.n_peers,
-        arrival_rate=BASE_RATE,
-        gossip_rate=GOSSIP_RATE,
-        deletion_rate=DELETION_RATE,
-        normalized_capacity=CAPACITY,
-        segment_size=SEGMENT_SIZE,
-        n_servers=budget.n_servers,
-    )
-    system = CollectionSystem(params, seed=seed, workload=_workload())
-    sim_occupancy, sim_intake = [], []
-    previous = 0.0
-    for t in sample_times:
-        report = system.run_phase(float(t - previous))
-        previous = float(t)
-        sim_occupancy.append(report.mean_buffer_occupancy)
-        sim_intake.append(report.throughput / budget.n_peers)
-
-    result = SeriesResult(
-        name="transient",
-        title=(
-            "Flash crowd at the fluid limit vs event simulation "
-            f"(x{BURST_MULTIPLIER:g} burst on [{BURST_START:g},{BURST_END:g}), "
-            f"c={CAPACITY:g}, s={SEGMENT_SIZE})"
-        ),
-        x_name="t",
-        x_values=[float(t) for t in sample_times],
-    )
-    result.add_series("demand", [_workload().rate(t - 1e-9) for t in sample_times])
-    result.add_series(
-        "fluid occupancy", [fluid_at(trajectory.occupancy, t) for t in sample_times]
-    )
-    result.add_series("sim occupancy", sim_occupancy)
-    result.add_series(
-        "fluid intake",
-        [fluid_at(trajectory.collection_rate, t) for t in sample_times],
-    )
-    result.add_series("sim intake", sim_intake)
-    result.add_note(
-        "occupancy = buffered blocks per peer; intake = useful server pulls "
-        "per peer per unit time (capacity line c = "
-        f"{CAPACITY:g}); sim values are per-interval averages"
-    )
-    result.add_note(
-        "shape target: occupancy swells through the burst and drains after "
-        "(buffering zone); intake swings far less than demand (smoothing) "
-        "and the fluid and event curves track each other"
-    )
-    return result
+    return plan_transient(quality, budget, n_samples, seed).run_serial()
 
 
 def main(quality: str = QUALITY_FAST) -> SeriesResult:

@@ -1,0 +1,204 @@
+"""Sweep orchestration: plan -> pool -> journal -> byte-identical merge.
+
+:func:`execute_run` is the one entry point: it builds the task grid from a
+:class:`RunSpec`, figures out which cells still need to run (all of them
+for a fresh run; the journal's complement for ``--resume``), executes them
+on the :class:`WorkerPool`, journals every completion, and finally merges
+*all* payloads — journaled and fresh alike — through the experiment's own
+``merge`` in task-grid order.
+
+The determinism argument, in one paragraph: each task reconstructs its
+entire RNG state from ``(params, seed)`` or a named substream, so *where*
+and *when* it runs cannot change its payload; payloads are JSON-normalized
+identically whether they stayed in memory or round-tripped through the
+journal; and the merge consumes them keyed by task id in the plan's
+declared order, never completion order.  Serial execution *is* the same
+plan with a trivial executor, so ``--workers 4``, ``--workers 1``, a
+resumed run, and ``run_X()`` in-process all produce byte-identical
+``SeriesResult`` JSON.  ``docs/RUNNER.md`` spells this out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO
+
+from repro.experiments.base import SeriesResult
+from repro.runner.journal import JournalError, RunJournal
+from repro.runner.pool import WorkerPool
+from repro.runner.spec import RunSpec
+from repro.runner.telemetry import (
+    KIND_RUN_COMPLETE,
+    KIND_RUN_RESUME,
+    KIND_RUN_START,
+    KIND_RUN_STOPPED,
+    RunnerTelemetry,
+)
+
+#: Default parent directory for run journals.
+DEFAULT_RUNS_DIR = Path("runs")
+
+
+@dataclass
+class RunOutcome:
+    """What :func:`execute_run` produced.
+
+    ``result`` is ``None`` exactly when the run stopped early
+    (``stop_after``) with cells still missing; ``completed_tasks`` counts
+    journaled cells across *all* sessions of the run.
+    """
+
+    run_id: str
+    run_dir: Path
+    result: Optional[SeriesResult]
+    completed_tasks: int
+    total_tasks: int
+    executed_this_session: int
+    resumed_tasks: int
+
+    @property
+    def complete(self) -> bool:
+        return self.result is not None
+
+
+def make_run_id(experiment: str, runs_dir: Path) -> str:
+    """Pick a fresh, human-sortable run id under *runs_dir*."""
+    for counter in itertools.count(1):
+        candidate = f"{experiment}-{counter:03d}"
+        if not (runs_dir / candidate).exists():
+            return candidate
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def execute_run(
+    spec: RunSpec,
+    workers: int = 1,
+    runs_dir: Path = DEFAULT_RUNS_DIR,
+    run_id: Optional[str] = None,
+    resume: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 2,
+    stop_after: Optional[int] = None,
+    progress: bool = False,
+    stream: Optional[TextIO] = None,
+) -> RunOutcome:
+    """Execute (or resume) one sweep; see the module docstring.
+
+    ``resume`` names an existing run id under *runs_dir* whose journal
+    supplies already-completed cells; the manifest fingerprint must match
+    *spec*.  ``stop_after`` ends the session after that many cells
+    complete in it — the checkpoint half of the checkpoint/resume tests.
+    """
+    plan = spec.build_plan()
+    task_ids = plan.task_ids()
+
+    if resume is not None:
+        run_dir = runs_dir / resume
+        journal = RunJournal.load(run_dir)
+        journal.check_resumable(spec, task_ids)
+        completed = journal.completed_payloads()
+        unknown = sorted(set(completed) - set(task_ids))
+        if unknown:
+            raise JournalError(
+                f"journal {resume} holds {len(unknown)} task(s) not in "
+                f"this plan (first: {unknown[0]!r})"
+            )
+    else:
+        chosen = run_id or make_run_id(spec.experiment, runs_dir)
+        run_dir = runs_dir / chosen
+        journal = RunJournal.create(
+            run_dir,
+            spec,
+            task_ids,
+            execution={
+                "workers": workers,
+                "task_timeout": task_timeout,
+                "retries": retries,
+            },
+        )
+        completed = {}
+
+    pending = [task_id for task_id in task_ids if task_id not in completed]
+    index_of = {task_id: i for i, task_id in enumerate(task_ids)}
+
+    telemetry = RunnerTelemetry(
+        total_tasks=len(task_ids),
+        already_done=len(completed),
+        workers=workers,
+        sink=journal.append_event,
+        progress=progress,
+        stream=stream,
+    )
+    telemetry.emit(
+        KIND_RUN_RESUME if resume is not None else KIND_RUN_START,
+        run_id=run_dir.name,
+        experiment=spec.experiment,
+        total_tasks=len(task_ids),
+        already_done=len(completed),
+        pending=len(pending),
+        workers=workers,
+    )
+
+    payloads: Dict[str, Dict[str, Any]] = dict(completed)
+
+    def on_task_done(
+        task_id: str, payload: Dict[str, Any], attempts: int, elapsed: float
+    ) -> None:
+        journal.record_task(
+            index_of[task_id], task_id, payload, attempts, elapsed
+        )
+
+    executed = 0
+    if pending:
+        pool = WorkerPool(
+            spec,
+            n_workers=workers,
+            telemetry=telemetry,
+            task_timeout=task_timeout,
+            retries=retries,
+            on_task_done=on_task_done,
+        )
+        try:
+            pool_result = pool.run(pending, stop_after=stop_after)
+        finally:
+            telemetry.close_line()
+        payloads.update(pool_result.payloads)
+        executed = len(pool_result.payloads)
+
+    if len(payloads) < len(task_ids):
+        telemetry.emit(
+            KIND_RUN_STOPPED,
+            run_id=run_dir.name,
+            completed=len(payloads),
+            total=len(task_ids),
+        )
+        return RunOutcome(
+            run_id=run_dir.name,
+            run_dir=run_dir,
+            result=None,
+            completed_tasks=len(payloads),
+            total_tasks=len(task_ids),
+            executed_this_session=executed,
+            resumed_tasks=len(completed),
+        )
+
+    result = plan.merge(payloads)
+    journal.write_result(result.to_json())
+    telemetry.emit(
+        KIND_RUN_COMPLETE,
+        run_id=run_dir.name,
+        total=len(task_ids),
+        executed=executed,
+        resumed=len(completed),
+    )
+    return RunOutcome(
+        run_id=run_dir.name,
+        run_dir=run_dir,
+        result=result,
+        completed_tasks=len(payloads),
+        total_tasks=len(task_ids),
+        executed_this_session=executed,
+        resumed_tasks=len(completed),
+    )

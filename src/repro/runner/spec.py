@@ -1,0 +1,144 @@
+"""Run specification: everything a worker needs to rebuild a task grid.
+
+A :class:`RunSpec` is the *complete* description of one sweep: the
+experiment name, the fully-resolved simulation budget, and any extra
+builder options.  Workers reconstruct the :class:`ExperimentPlan` from the
+spec alone — they never consult the quality presets (which tests are free
+to monkeypatch in the parent) or any other process-global state, so a task
+executes identically in the parent, in a pool worker, and in a resumed run
+days later.
+
+The spec's :func:`fingerprint` (a SHA-256 over the canonical spec JSON
+plus the plan's task-id list) is stored in the run manifest and checked on
+``--resume``: a journal can only be resumed by the spec that created it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.experiments.base import (
+    ExperimentPlan,
+    SimBudget,
+    budget_as_dict,
+    budget_from_dict,
+)
+
+#: Experiment-name prefix routed to the synthetic-plan registry (test and
+#: benchmark harness plans) instead of the real figure runners.
+SYNTHETIC_PREFIX = "synthetic-"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Self-contained, JSON-serializable description of one sweep.
+
+    ``budget`` is the *resolved* budget mapping (see
+    :func:`repro.experiments.base.budget_as_dict`), never a preset name;
+    ``options`` carries extra keyword arguments for the plan builder and
+    must be JSON-serializable.
+    """
+
+    experiment: str
+    quality: str
+    budget: Mapping[str, Any]
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        experiment: str,
+        quality: str,
+        budget: SimBudget,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> "RunSpec":
+        """Build a spec from an in-memory budget (normalizing to JSON)."""
+        payload: Dict[str, Any] = {
+            "experiment": experiment,
+            "quality": quality,
+            "budget": budget_as_dict(budget),
+            "options": dict(options or {}),
+        }
+        normalized: Dict[str, Any] = json.loads(
+            json.dumps(payload, sort_keys=True, allow_nan=False)
+        )
+        return cls(
+            experiment=str(normalized["experiment"]),
+            quality=str(normalized["quality"]),
+            budget=dict(normalized["budget"]),
+            options=dict(normalized["options"]),
+        )
+
+    def sim_budget(self) -> SimBudget:
+        """The resolved :class:`SimBudget` this spec's tasks run under."""
+        return budget_from_dict(self.budget)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form (stable key order when dumped)."""
+        return {
+            "experiment": self.experiment,
+            "quality": self.quality,
+            "budget": dict(self.budget),
+            "options": dict(self.options),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding (the worker handshake payload)."""
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from a manifest/handshake mapping."""
+        return cls(
+            experiment=str(payload["experiment"]),
+            quality=str(payload["quality"]),
+            budget=dict(payload["budget"]),
+            options=dict(payload.get("options", {})),
+        )
+
+    def build_plan(self) -> ExperimentPlan:
+        """Reconstruct the task grid this spec describes.
+
+        Experiment names under ``synthetic-`` resolve through
+        :mod:`repro.runner.synthetic`; everything else resolves through
+        :data:`repro.experiments.PLAN_BUILDERS`.  Imports are deferred so
+        pool workers pay the import cost once, lazily, and so this module
+        never participates in an import cycle with the experiments
+        package.
+        """
+        if self.experiment.startswith(SYNTHETIC_PREFIX):
+            from repro.runner.synthetic import build_synthetic_plan
+
+            return build_synthetic_plan(
+                self.experiment, self.sim_budget(), dict(self.options)
+            )
+        from repro.experiments import PLAN_BUILDERS
+
+        builder = PLAN_BUILDERS.get(self.experiment)
+        if builder is None:
+            raise ValueError(
+                f"unknown experiment {self.experiment!r}; choose from "
+                f"{sorted(PLAN_BUILDERS)}"
+            )
+        plan: ExperimentPlan = builder(
+            quality=self.quality, budget=self.sim_budget(), **self.options
+        )
+        return plan
+
+    def fingerprint(self, task_ids: List[str]) -> str:
+        """SHA-256 binding this spec to its plan's exact task grid."""
+        canonical = json.dumps(
+            {"spec": self.to_dict(), "task_ids": list(task_ids)},
+            sort_keys=True,
+            allow_nan=False,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,141 @@
+"""Synthetic task grids: deterministic micro-plans for tests and benches.
+
+Real experiment cells take seconds; exercising the pool's fault paths
+(crashes, hangs, retries, resume) with them would make the test suite
+crawl.  A synthetic plan is a grid of trivial arithmetic cells that can be
+told, per task, to misbehave exactly once:
+
+``options["fail"]`` maps task ids to a directive:
+
+- ``"kill-once"``  — hard-exit the worker process mid-task (crash
+  isolation path; the parent sees EOF on the pipe);
+- ``"raise-once"`` — raise inside the task (error-report path; the worker
+  survives);
+- ``"hang-once"``  — sleep far past any sane task timeout (timeout path);
+- ``"raise-always"`` — raise on every attempt (retry-exhaustion path).
+
+The ``*-once`` modes need crash-surviving state ("have I already failed?")
+that lives *outside* the worker, since the whole point is that the worker
+dies: a marker file under ``options["marker_dir"]``, created just before
+misbehaving.  The retried attempt sees the marker and succeeds — exactly
+one failure per directive, deterministically.
+
+Payloads are pure functions of the task index, so the merged series is
+byte-identical no matter which workers died along the way — the property
+every fault-tolerance test asserts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
+    SeriesResult,
+    SimBudget,
+    SimTask,
+)
+
+#: The one synthetic experiment name (prefix-routed by RunSpec.build_plan).
+SYNTHETIC_GRID = "synthetic-grid"
+
+
+def _cell_value(index: int) -> float:
+    """Deterministic per-cell arithmetic (cheap, order-free)."""
+    return float(index * index + 3 * index + 1)
+
+
+def _misbehave(directive: str, task_id: str, marker_dir: str) -> None:
+    """Carry out one failure directive (possibly not returning)."""
+    once = directive.endswith("-once")
+    if once:
+        marker = Path(marker_dir) / f"{task_id}.failed"
+        if marker.exists():
+            return  # already failed once; behave this time
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text(directive)
+    if directive.startswith("kill"):
+        os._exit(137)
+    if directive.startswith("hang"):
+        time.sleep(3600.0)
+    raise RuntimeError(f"synthetic failure directive {directive!r}")
+
+
+def _run_cell(
+    index: int, task_id: str, options: Mapping[str, Any]
+) -> Payload:
+    fail = options.get("fail", {})
+    directive = fail.get(task_id)
+    if directive is not None:
+        marker_dir = str(options.get("marker_dir", ""))
+        if directive.endswith("-once") and not marker_dir:
+            raise ValueError(
+                f"directive {directive!r} for {task_id!r} needs "
+                "options['marker_dir'] for its crash-surviving marker"
+            )
+        _misbehave(str(directive), task_id, marker_dir)
+    sleep_seconds = float(options.get("sleep_seconds", 0.0))
+    if sleep_seconds > 0.0:
+        time.sleep(sleep_seconds)
+    return {"value": _cell_value(index), "index": index}
+
+
+def build_synthetic_plan(
+    name: str, budget: SimBudget, options: Mapping[str, Any]
+) -> ExperimentPlan:
+    """Build a synthetic grid of ``options['n_tasks']`` trivial cells."""
+    if name != SYNTHETIC_GRID:
+        raise ValueError(
+            f"unknown synthetic experiment {name!r} "
+            f"(only {SYNTHETIC_GRID!r} exists)"
+        )
+    n_tasks = int(options.get("n_tasks", 8))
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+
+    def make_thunk(index: int, task_id: str) -> SimTask:
+        def thunk() -> Payload:
+            return _run_cell(index, task_id, options)
+
+        return SimTask(task_id=task_id, thunk=thunk)
+
+    tasks: List[SimTask] = [
+        make_thunk(index, f"cell={index:04d}") for index in range(n_tasks)
+    ]
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name=SYNTHETIC_GRID,
+            title="synthetic runner grid (test/bench harness)",
+            x_name="cell",
+            x_values=[float(i) for i in range(n_tasks)],
+        )
+        values: List[float] = []
+        for index in range(n_tasks):
+            payload = payloads[f"cell={index:04d}"]
+            values.append(float(payload["value"]))
+        result.add_series("value", values)
+        return result
+
+    return ExperimentPlan(SYNTHETIC_GRID, tasks, merge)
+
+
+def synthetic_options(
+    n_tasks: int,
+    sleep_seconds: float = 0.0,
+    fail: Optional[Mapping[str, str]] = None,
+    marker_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+) -> Dict[str, Any]:
+    """Convenience builder of a JSON-clean synthetic options mapping."""
+    options: Dict[str, Any] = {"n_tasks": int(n_tasks)}
+    if sleep_seconds:
+        options["sleep_seconds"] = float(sleep_seconds)
+    if fail:
+        options["fail"] = dict(fail)
+    if marker_dir is not None:
+        options["marker_dir"] = str(marker_dir)
+    return options

@@ -1,0 +1,164 @@
+"""Runner telemetry: structured events, live counters, and a progress line.
+
+Mirrors the :mod:`repro.sim.trace` discipline — every event kind emitted by
+the orchestrator/pool is declared up front in :data:`RUNNER_EVENT_KINDS`,
+so a typo'd kind fails loudly at the emission site instead of producing a
+stream nothing downstream matches.  Events are appended to the run
+journal's ``events.jsonl`` (when attached) and folded into live counters
+that drive the single-line progress display.
+
+Wall-clock use is deliberate and allowed here: the runner orchestrates the
+deterministic simulation, it is not part of it (the R2 determinism
+contract covers ``core``/``sim``/``faults``; timing never feeds a result
+payload).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Dict, FrozenSet, Optional, TextIO
+
+#: Event kind constants (KIND_* mirrors sim/trace.py's naming).
+KIND_RUN_START = "run-start"
+KIND_RUN_RESUME = "run-resume"
+KIND_TASK_DISPATCH = "task-dispatch"
+KIND_TASK_DONE = "task-done"
+KIND_TASK_RETRY = "task-retry"
+KIND_TASK_FAILED = "task-failed"
+KIND_WORKER_SPAWN = "worker-spawn"
+KIND_WORKER_CRASH = "worker-crash"
+KIND_WORKER_TIMEOUT = "worker-timeout"
+KIND_RUN_STOPPED = "run-stopped"
+KIND_RUN_COMPLETE = "run-complete"
+
+#: The closed registry of event kinds the runner may emit.
+RUNNER_EVENT_KINDS: FrozenSet[str] = frozenset({
+    KIND_RUN_START,
+    KIND_RUN_RESUME,
+    KIND_TASK_DISPATCH,
+    KIND_TASK_DONE,
+    KIND_TASK_RETRY,
+    KIND_TASK_FAILED,
+    KIND_WORKER_SPAWN,
+    KIND_WORKER_CRASH,
+    KIND_WORKER_TIMEOUT,
+    KIND_RUN_STOPPED,
+    KIND_RUN_COMPLETE,
+})
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class RunnerTelemetry:
+    """Counters + event sink for one sweep execution.
+
+    ``sink`` (usually :meth:`RunJournal.append_event`) receives every
+    event as a JSON-ready mapping; ``stream`` (usually stderr) receives
+    the redrawn progress line when ``progress`` is enabled.
+    """
+
+    def __init__(
+        self,
+        total_tasks: int,
+        already_done: int = 0,
+        workers: int = 1,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        progress: bool = False,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.total_tasks = total_tasks
+        self.already_done = already_done
+        self.workers = workers
+        self.done = 0
+        self.dispatched = 0
+        self.running = 0
+        self.retried = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self._sink = sink
+        self._progress = progress
+        self._stream: TextIO = stream if stream is not None else sys.stderr
+        self._started = time.monotonic()
+        self._busy_seconds = 0.0
+        self._line_open = False
+
+    # ---- events ----------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event: validate the kind, count it, sink it."""
+        if kind not in RUNNER_EVENT_KINDS:
+            raise ValueError(
+                f"unregistered runner event kind {kind!r}; declare it in "
+                "RUNNER_EVENT_KINDS"
+            )
+        if kind == KIND_TASK_DISPATCH:
+            self.dispatched += 1
+            self.running += 1
+        elif kind == KIND_TASK_DONE:
+            self.done += 1
+            self.running = max(0, self.running - 1)
+            self._busy_seconds += float(fields.get("elapsed_seconds", 0.0))
+        elif kind == KIND_TASK_RETRY:
+            self.retried += 1
+            self.running = max(0, self.running - 1)
+        elif kind == KIND_WORKER_CRASH:
+            self.crashes += 1
+        elif kind == KIND_WORKER_TIMEOUT:
+            self.timeouts += 1
+        if self._sink is not None:
+            event = {"kind": kind, "t": time.time()}
+            event.update(fields)
+            self._sink(event)
+        if self._progress:
+            self._redraw()
+
+    # ---- progress line ---------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fraction of wall-clock x workers spent inside tasks."""
+        wall = max(time.monotonic() - self._started, 1e-9)
+        return min(self._busy_seconds / (wall * max(self.workers, 1)), 1.0)
+
+    def eta_seconds(self) -> Optional[float]:
+        """Naive remaining-time estimate from the observed task rate."""
+        if self.done == 0:
+            return None
+        wall = max(time.monotonic() - self._started, 1e-9)
+        remaining = self.total_tasks - self.already_done - self.done
+        if remaining <= 0:
+            return 0.0
+        return remaining * (wall / self.done)
+
+    def progress_line(self) -> str:
+        """One-line summary: done/total, running, retries, util, ETA."""
+        completed = self.already_done + self.done
+        parts = [
+            f"[runner] {completed}/{self.total_tasks} tasks",
+            f"{self.running} running",
+        ]
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        parts.append(f"util {self.utilization():.0%}")
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"eta {_format_eta(eta)}")
+        return "  ".join(parts)
+
+    def _redraw(self) -> None:
+        self._stream.write("\r\x1b[2K" + self.progress_line())
+        self._stream.flush()
+        self._line_open = True
+
+    def close_line(self) -> None:
+        """Terminate the progress line so later output starts clean."""
+        if self._line_open:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._line_open = False
