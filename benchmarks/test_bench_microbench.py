@@ -78,9 +78,27 @@ def test_bench_event_engine_throughput(benchmark):
     assert benchmark(run) == 20_000
 
 
-def test_bench_simulation_second(benchmark):
-    """One simulated time unit of a 100-peer abstract-mode session."""
-    params = Parameters(
+def test_bench_event_engine_probe_installed(benchmark):
+    """Engine throughput with a no-op probe armed every 256 events.
+
+    The chaos layer's invariant monitors ride this hook; paired with
+    ``test_bench_event_engine_throughput`` (probe off) it bounds the
+    monitoring tax on the raw event loop.
+    """
+
+    def run():
+        sim = Simulator()
+        sim.set_probe(lambda: None, every=256)
+        for index in range(20_000):
+            sim.schedule_call(index * 1e-4, lambda: None)
+        sim.run_until(10.0)
+        return sim.events_processed
+
+    assert benchmark(run) == 20_000
+
+
+def _session_params():
+    return Parameters(
         n_peers=100,
         arrival_rate=20.0,
         gossip_rate=10.0,
@@ -89,7 +107,11 @@ def test_bench_simulation_second(benchmark):
         segment_size=20,
         n_servers=4,
     )
-    system = CollectionSystem(params, seed=1)
+
+
+def test_bench_simulation_second(benchmark):
+    """One simulated time unit of a 100-peer abstract-mode session."""
+    system = CollectionSystem(_session_params(), seed=1)
     system.run_until(5.0)  # reach steady state outside the timer
 
     state = {"t": 5.0}
@@ -99,3 +121,31 @@ def test_bench_simulation_second(benchmark):
         system.run_until(state["t"])
 
     benchmark.pedantic(advance_one_unit, rounds=10, iterations=1)
+
+
+def test_bench_simulation_second_monitored(benchmark):
+    """The same simulated second with the full invariant suite sweeping.
+
+    Monitors-on counterpart of ``test_bench_simulation_second``: a
+    MonitorSuite at the default cadence (every 256 events) audits block
+    conservation, buffer caps, peer tracking, saved-segment accounting,
+    rank monotonicity, and event-time sanity while the clock advances.
+    """
+    from repro.chaos.monitors import MonitorSuite, runtime_monitors
+
+    system = CollectionSystem(_session_params(), seed=1)
+    system.run_until(5.0)
+
+    suite = MonitorSuite(
+        system, every=256, monitors=runtime_monitors(system)
+    )
+    suite.install()
+    state = {"t": 5.0}
+
+    def advance_one_unit():
+        state["t"] += 1.0
+        system.run_until(state["t"])
+
+    benchmark.pedantic(advance_one_unit, rounds=10, iterations=1)
+    suite.uninstall()
+    assert suite.checks_run > 0

@@ -1,0 +1,315 @@
+"""The chaos plan-space: what a random trial is allowed to look like.
+
+A :class:`PlanSpace` declares the ranges every sampled knob is drawn from —
+protocol parameters pushed to extreme-but-valid corners (buffer cap exactly
+one segment deep, a single server, gossip switched off entirely) composed
+with all four fault channels at arbitrary intensities (loss probabilities
+up to and including 1.0, outage windows starting at t=0, churn bursts
+killing the whole population).  :func:`sample_trial` draws one
+:class:`TrialConfig` from the space on a named
+:class:`~repro.sim.rng.SeedSequenceRegistry` substream, so trial *i* of a
+campaign is a pure function of ``(campaign_seed, i)`` — the property the
+replay and shrink machinery depend on.
+
+A :class:`TrialConfig` stores plain JSON dictionaries rather than the
+frozen dataclasses they build, because it must survive the runner's
+journal round-trip and the ``repro.json`` file byte-identically; the
+builders (:meth:`TrialConfig.build_params`) re-validate on every
+reconstruction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.params import (
+    MODE_RLNC,
+    Parameters,
+    VALID_SELECTIONS,
+)
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import SeedSequenceRegistry
+
+#: The chaos campaign experiment name (prefix-routed by RunSpec.build_plan).
+CHAOS_CAMPAIGN = "chaos-campaign"
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """One fully specified chaos trial: build it, run it, judge it.
+
+    ``params`` and ``plan`` are JSON-clean keyword dictionaries for
+    :class:`Parameters` and :class:`FaultPlan`; ``seed`` feeds the system's
+    seed registry; ``every`` is the invariant-monitor cadence in executed
+    events; ``mutant`` optionally names a seeded defect from
+    :mod:`repro.chaos.mutants` to apply for the trial's duration.
+    """
+
+    trial_id: int
+    seed: int
+    params: Dict[str, Any]
+    plan: Dict[str, Any]
+    warmup: float
+    duration: float
+    every: int
+    mutant: Optional[str] = None
+
+    def build_fault_plan(self) -> Optional[FaultPlan]:
+        """Reconstruct (and re-validate) the trial's fault plan."""
+        if not self.plan:
+            return None
+        kwargs = dict(self.plan)
+        windows = kwargs.pop("outage_windows", None)
+        if windows:
+            kwargs["outage_windows"] = tuple(
+                (float(start), float(end)) for start, end in windows
+            )
+        return FaultPlan(**kwargs)
+
+    def build_params(self) -> Parameters:
+        """Reconstruct (and re-validate) the trial's protocol parameters."""
+        return Parameters(faults=self.build_fault_plan(), **self.params)
+
+    @property
+    def task_id(self) -> str:
+        """Deterministic runner task id for this trial."""
+        return f"trial={self.trial_id:05d}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-clean form (journal payloads, repro.json)."""
+        return {
+            "trial_id": self.trial_id,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "plan": dict(self.plan),
+            "warmup": self.warmup,
+            "duration": self.duration,
+            "every": self.every,
+            "mutant": self.mutant,
+        }
+
+    @staticmethod
+    def from_json(payload: Mapping[str, Any]) -> "TrialConfig":
+        """Inverse of :meth:`to_json`."""
+        mutant = payload.get("mutant")
+        return TrialConfig(
+            trial_id=int(payload["trial_id"]),
+            seed=int(payload["seed"]),
+            params=dict(payload["params"]),
+            plan=dict(payload["plan"]),
+            warmup=float(payload["warmup"]),
+            duration=float(payload["duration"]),
+            every=int(payload["every"]),
+            mutant=str(mutant) if mutant is not None else None,
+        )
+
+    def describe(self) -> str:
+        """One-line summary for campaign logs."""
+        plan = self.build_fault_plan()
+        faults = plan.describe() if plan is not None else "no faults"
+        n = self.params["n_peers"]
+        return (
+            f"trial {self.trial_id}: N={n} seed={self.seed} "
+            f"T={self.warmup:g}+{self.duration:g} every={self.every} "
+            f"[{faults}]"
+            + (f" mutant={self.mutant}" if self.mutant else "")
+        )
+
+
+#: Server pull policies, restated here so sampling the space does not import
+#: the server module at module load (params re-validates against the real
+#: registry on every build).
+_PULL_POLICIES = ("random", "round-robin", "avoid-redundant", "greedy-completion")
+
+
+@dataclass(frozen=True)
+class PlanSpace:
+    """Declared sampling ranges for every knob a chaos trial may turn.
+
+    ``(lo, hi)`` pairs are inclusive ranges; probabilities gate how often a
+    dimension is pushed off its default.  Trials are deliberately small
+    (tens of peers, horizons of a few time units) so a 200-trial campaign
+    stays cheap while still composing every fault channel.
+    """
+
+    n_peers: Tuple[int, int] = (8, 48)
+    n_servers_max: int = 4
+    arrival_rate: Tuple[float, float] = (0.5, 6.0)
+    gossip_rate: Tuple[float, float] = (0.0, 10.0)
+    deletion_rate: Tuple[float, float] = (0.25, 3.0)
+    normalized_capacity: Tuple[float, float] = (0.05, 3.0)
+    segment_size: Tuple[int, int] = (1, 5)
+    payload_bytes: Tuple[int, ...] = (4, 16)
+    mean_lifetime: Tuple[float, float] = (1.0, 12.0)
+    warmup: Tuple[float, float] = (0.0, 3.0)
+    duration: Tuple[float, float] = (2.0, 8.0)
+    every: Tuple[int, int] = (16, 384)
+    #: probability a trial runs in RLNC mode with payload bytes (enables the
+    #: rank-monotone and decode-fidelity monitors at real-coding cost).
+    rlnc_probability: float = 0.5
+    #: probability churn is enabled at all.
+    churn_probability: float = 0.7
+    #: per-channel probability that a fault channel is switched on.
+    channel_probability: float = 0.45
+    #: probability an active knob is pushed to its extreme corner
+    #: (loss=1.0, burst kills everyone, buffer exactly one segment deep,
+    #: outage window starting at t=0).
+    extreme_probability: float = 0.2
+    pull_policies: Tuple[str, ...] = _PULL_POLICIES
+    selections: Tuple[str, ...] = VALID_SELECTIONS
+    #: extra keyword overrides applied verbatim to every sampled Parameters
+    #: dict (campaign-level pinning, e.g. {"mode": "rlnc"}).
+    params_overrides: Dict[str, Any] = field(default_factory=dict)
+
+    # -- sampling helpers ------------------------------------------------------
+
+    def _uniform(self, rng: random.Random, lo_hi: Tuple[float, float]) -> float:
+        lo, hi = lo_hi
+        return rng.uniform(lo, hi)
+
+    def _randint(self, rng: random.Random, lo_hi: Tuple[int, int]) -> int:
+        lo, hi = lo_hi
+        return rng.randint(lo, hi)
+
+    def _sample_params(self, rng: random.Random) -> Dict[str, Any]:
+        n_peers = self._randint(rng, self.n_peers)
+        segment_size = self._randint(rng, self.segment_size)
+        params: Dict[str, Any] = {
+            "n_peers": n_peers,
+            "arrival_rate": round(self._uniform(rng, self.arrival_rate), 6),
+            "gossip_rate": round(self._uniform(rng, self.gossip_rate), 6),
+            "deletion_rate": round(self._uniform(rng, self.deletion_rate), 6),
+            "normalized_capacity": round(
+                self._uniform(rng, self.normalized_capacity), 6
+            ),
+            "segment_size": segment_size,
+            "n_servers": rng.randint(1, min(self.n_servers_max, n_peers)),
+            "segment_selection": rng.choice(list(self.selections)),
+            "pull_policy": rng.choice(list(self.pull_policies)),
+        }
+        if rng.random() < self.extreme_probability:
+            # Gossip entirely off: collection must survive on direct pulls.
+            params["gossip_rate"] = 0.0
+        if rng.random() < self.rlnc_probability:
+            params["mode"] = MODE_RLNC
+            params["payload_bytes"] = rng.choice(list(self.payload_bytes))
+        # Buffer cap: auto-sized, snug, or the tightest legal corner (B = s).
+        cap_draw = rng.random()
+        if cap_draw < self.extreme_probability:
+            params["buffer_capacity"] = segment_size
+        elif cap_draw < 0.6:
+            params["buffer_capacity"] = segment_size + rng.randint(
+                0, 3 * segment_size
+            )
+        if rng.random() < self.churn_probability:
+            params["mean_lifetime"] = round(
+                self._uniform(rng, self.mean_lifetime), 6
+            )
+        if rng.random() < 0.3:
+            params["gossip_latency"] = round(rng.uniform(0.05, 0.8), 6)
+        params.update(self.params_overrides)
+        return params
+
+    def _sample_windows(
+        self, rng: random.Random, horizon: float
+    ) -> List[List[float]]:
+        count = rng.randint(1, 3)
+        start = (
+            0.0  # the t=0 corner: down before the first event ever fires
+            if rng.random() < self.extreme_probability
+            else round(rng.uniform(0.0, horizon / 4.0), 6)
+        )
+        windows: List[List[float]] = []
+        for _ in range(count):
+            length = round(rng.uniform(0.1, max(horizon / 3.0, 0.2)), 6)
+            windows.append([round(start, 6), round(start + length, 6)])
+            start = start + length + round(
+                rng.uniform(0.05, max(horizon / 3.0, 0.1)), 6
+            )
+        return windows
+
+    def _sample_plan(
+        self, rng: random.Random, horizon: float
+    ) -> Dict[str, Any]:
+        plan: Dict[str, Any] = {}
+        active = self.channel_probability
+        extreme = self.extreme_probability
+        if rng.random() < active:
+            plan["gossip_loss_rate"] = (
+                1.0 if rng.random() < extreme else round(rng.random(), 6)
+            )
+        if rng.random() < active:
+            plan["pull_loss_rate"] = (
+                1.0 if rng.random() < extreme else round(rng.random(), 6)
+            )
+        if rng.random() < active:
+            plan["pollution_fraction"] = (
+                1.0
+                if rng.random() < extreme
+                else round(rng.uniform(0.05, 1.0), 6)
+            )
+            plan["pollution_repull_budget"] = rng.randint(0, 3)
+        if rng.random() < active:
+            if rng.random() < 0.5:
+                plan["outage_windows"] = self._sample_windows(rng, horizon)
+            else:
+                plan["outage_rate"] = round(rng.uniform(0.05, 0.8), 6)
+                plan["outage_duration"] = round(
+                    rng.uniform(0.2, max(horizon / 3.0, 0.3)), 6
+                )
+            plan["catchup_limit"] = rng.randint(0, 16)
+        if rng.random() < active:
+            plan["burst_rate"] = round(rng.uniform(0.05, 0.6), 6)
+            plan["burst_fraction"] = (
+                1.0  # a burst that kills the entire population
+                if rng.random() < extreme
+                else round(rng.uniform(0.05, 1.0), 6)
+            )
+        return plan
+
+    def sample(
+        self,
+        rng: random.Random,
+        trial_id: int,
+        mutant: Optional[str] = None,
+    ) -> TrialConfig:
+        """Draw one trial from the space using *rng* exclusively."""
+        params = self._sample_params(rng)
+        warmup = round(self._uniform(rng, self.warmup), 6)
+        duration = round(self._uniform(rng, self.duration), 6)
+        plan = self._sample_plan(rng, warmup + duration)
+        config = TrialConfig(
+            trial_id=trial_id,
+            seed=rng.getrandbits(31),
+            params=params,
+            plan=plan,
+            warmup=warmup,
+            duration=duration,
+            every=self._randint(rng, self.every),
+            mutant=mutant,
+        )
+        # Fail at sampling time, not inside a worker, if the space ever
+        # drifts outside the validated parameter envelope.
+        config.build_params()
+        return config
+
+
+def sample_trial(
+    campaign_seed: int,
+    trial_id: int,
+    space: Optional[PlanSpace] = None,
+    mutant: Optional[str] = None,
+) -> TrialConfig:
+    """Draw campaign trial *trial_id* — a pure function of the arguments.
+
+    Each trial gets its own named substream of the campaign seed, so
+    campaigns are embarrassingly parallel and any single trial can be
+    reconstructed without replaying the ones before it.
+    """
+    if trial_id < 0:
+        raise ValueError(f"trial_id must be >= 0, got {trial_id}")
+    space = space if space is not None else PlanSpace()
+    rng = SeedSequenceRegistry(campaign_seed).python(f"chaos-trial-{trial_id}")
+    return space.sample(rng, trial_id, mutant=mutant)

@@ -19,6 +19,12 @@ The static determinism checker is exposed as a subcommand (see
 ``docs/LINTING.md``)::
 
     repro lint --strict src/repro
+
+The chaos campaign engine searches the fault space under runtime invariant
+monitors and replays minimal reproducers (see ``docs/CHAOS.md``)::
+
+    repro chaos run --budget 200 --workers 4 --seed 7
+    repro chaos replay runs/chaos-campaign-001/repro-00013.json
 """
 
 from __future__ import annotations
@@ -136,7 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "which figure/ablation to regenerate ('all' runs everything); "
             "'repro lint' runs the static determinism checker; 'repro run' "
-            "drives the parallel sweep runner"
+            "drives the parallel sweep runner; 'repro chaos' runs the "
+            "chaos campaign engine"
         ),
     )
     parser.add_argument(
@@ -317,6 +324,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "run":
         return run_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.chaos.cli import chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         budget = _resolve_budget(args)

@@ -30,7 +30,7 @@ churn departure        1/L                          peer slot
 
 from __future__ import annotations
 
-import math
+import os
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -612,7 +612,13 @@ class CollectionSystem:
             raise ValueError(f"duration must be > 0, got {duration}")
         self.metrics.begin_window(self.sim.now)
         self.sim.run_until(self.sim.now + duration)
-        return self.metrics.report(self.sim.now, engine=self.sim.perf())
+        report = self.metrics.report(self.sim.now, engine=self.sim.perf())
+        # Under pytest (tests/conftest.py sets REPRO_AUTO_CONSISTENCY) every
+        # measured phase ends with a full invariant sweep; in normal runs
+        # the flag is unset and this costs one dict lookup.
+        if os.environ.get("REPRO_AUTO_CONSISTENCY"):
+            self.consistency_check()
+        return report
 
     def run_until(self, end_time: float) -> None:
         """Advance raw simulation time without touching metric windows."""
@@ -759,36 +765,40 @@ class CollectionSystem:
         """Verify cross-component invariants; raises AssertionError on drift.
 
         Intended for tests: edge counts agree between the peer side, the
-        segment side, and the time-weighted metric state.
+        segment side, and the time-weighted metric state.  Delegates to the
+        chaos layer's end-state monitors (:mod:`repro.chaos.monitors`) so
+        this test-facing entry point and the mid-run chaos checks share one
+        implementation and cannot drift; the violations they raise subclass
+        ``AssertionError``, preserving this method's historical contract.
         """
-        peer_side = self.total_blocks_in_network()
-        segment_side = sum(
-            state.network_degree for state in self.registry.live_states()
-        )
-        if peer_side != segment_side:
-            raise AssertionError(
-                f"edge-count mismatch: peers hold {peer_side} blocks, "
-                f"registry says {segment_side}"
+        # Late import: chaos sits above core in the layer diagram.
+        from repro.chaos.monitors import end_state_monitors
+
+        now = self.sim.now
+        for monitor in end_state_monitors():
+            monitor.check(self, now)
+
+    def record_payloads(self) -> Dict[int, np.ndarray]:
+        """Archive each injected segment's original payload rows by id.
+
+        Wraps the payload provider so every future injection also stores a
+        copy of its source rows in the returned dict — the ground truth the
+        chaos layer's decode-fidelity monitor compares completed segments
+        against.  The wrapper draws no extra randomness, so a recorded run
+        is event-for-event identical to an unrecorded one.  Call before the
+        first injection; requires RLNC mode with payloads.
+        """
+        inner = self._payload_provider
+        if inner is None:
+            raise ValueError(
+                "payload recording requires mode='rlnc' with payload_bytes > 0"
             )
-        if not math.isclose(self.metrics.total_blocks.value, peer_side):
-            raise AssertionError(
-                f"metrics track {self.metrics.total_blocks.value} blocks, "
-                f"network holds {peer_side}"
-            )
-        nonempty_actual = {p.slot for p in self.peers if not p.is_empty}
-        nonempty_tracked = set(self._nonempty)
-        if nonempty_actual != nonempty_tracked:
-            raise AssertionError(
-                f"non-empty set drift: tracked {sorted(nonempty_tracked)}, "
-                f"actual {sorted(nonempty_actual)}"
-            )
-        if self.empty_peer_count() != int(self.metrics.empty_peers.value):
-            raise AssertionError(
-                f"empty-peer count drift: metrics say "
-                f"{self.metrics.empty_peers.value}, actual "
-                f"{self.empty_peer_count()}"
-            )
-        if self.registry.saved_segment_count() != int(
-            self.metrics.saved_segments.value
-        ):
-            raise AssertionError("saved-segment population drift")
+        originals: Dict[int, np.ndarray] = {}
+
+        def recording_provider(descriptor: SegmentDescriptor) -> np.ndarray:
+            payloads = inner(descriptor)
+            originals[descriptor.segment_id] = payloads.copy()
+            return payloads
+
+        self._payload_provider = recording_provider
+        return originals

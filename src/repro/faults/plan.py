@@ -89,21 +89,40 @@ class FaultPlan:
             raise ValueError(
                 "churn bursts need burst_fraction > 0 when burst_rate > 0"
             )
-        windows = tuple(
-            (float(start), float(end)) for start, end in self.outage_windows
-        )
+        normalized: List[Tuple[float, float]] = []
+        for index, pair in enumerate(self.outage_windows):
+            try:
+                raw_start, raw_end = pair
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"outage_windows[{index}] must be a (start, end) pair, "
+                    f"got {pair!r}"
+                ) from None
+            try:
+                normalized.append((float(raw_start), float(raw_end)))
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"outage_windows[{index}] must be a pair of numbers, "
+                    f"got {pair!r}"
+                ) from None
+        windows = tuple(normalized)
         object.__setattr__(self, "outage_windows", windows)
         previous_end = 0.0
-        for start, end in windows:
+        for index, (start, end) in enumerate(windows):
             if not (math.isfinite(start) and math.isfinite(end)):
-                raise ValueError(f"outage window ({start}, {end}) must be finite")
+                raise ValueError(
+                    f"outage_windows[{index}] = ({start}, {end}) must be finite"
+                )
             if start < 0 or end <= start:
                 raise ValueError(
-                    f"outage window ({start}, {end}) needs 0 <= start < end"
+                    f"outage_windows[{index}] = ({start}, {end}) needs "
+                    f"0 <= start < end"
                 )
             if start < previous_end:
                 raise ValueError(
-                    "outage windows must be sorted and non-overlapping"
+                    f"outage windows must be sorted and non-overlapping: "
+                    f"window {index} ({start:g}, {end:g}) starts before "
+                    f"window {index - 1} ends at {previous_end:g}"
                 )
             previous_end = end
         if windows and self.outage_rate > 0:

@@ -31,6 +31,10 @@ from repro.experiments.base import (
 #: benchmark harness plans) instead of the real figure runners.
 SYNTHETIC_PREFIX = "synthetic-"
 
+#: Experiment-name prefix routed to the chaos-campaign plan builder
+#: (randomized fault-space trials; see repro.chaos).
+CHAOS_PREFIX = "chaos-"
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -119,6 +123,12 @@ class RunSpec:
             from repro.runner.synthetic import build_synthetic_plan
 
             return build_synthetic_plan(
+                self.experiment, self.sim_budget(), dict(self.options)
+            )
+        if self.experiment.startswith(CHAOS_PREFIX):
+            from repro.chaos.campaign import build_chaos_plan
+
+            return build_chaos_plan(
                 self.experiment, self.sim_budget(), dict(self.options)
             )
         from repro.experiments import PLAN_BUILDERS

@@ -131,6 +131,13 @@ class Simulator:
         self._heap_compactions = 0
         self._run_until_calls = 0
         self._wall_time = 0.0
+        # Amortized observation hook (see set_probe): called every
+        # `_probe_every` executed events.  Off (None) on every system that
+        # does not explicitly install one; the only per-event cost of the
+        # feature is then a single local is-None test in run_until.
+        self._probe: Optional[Action] = None
+        self._probe_every = 0
+        self._probe_countdown = 0
         # Sorted run of due entries being drained by the current run_until
         # call; kept on the instance so `pending` stays exact mid-batch.
         self._ready: List[_Entry] = []
@@ -216,6 +223,29 @@ class Simulator:
         """Request the current ``run_until`` call to return after this event."""
         self._stopped = True
 
+    def set_probe(self, action: Action, every: int) -> None:
+        """Install an amortized observation hook into the event loop.
+
+        ``action()`` is invoked inline after every *every*-th executed event
+        (and never counts as an event itself: it consumes no sequence number,
+        advances no clock, and therefore cannot perturb event ordering).  The
+        runtime invariant monitors (:mod:`repro.chaos.monitors`) ride this
+        hook.  The probe must be read-only with respect to simulation state;
+        an exception it raises propagates out of :meth:`run_until` with the
+        unconsumed schedule intact.
+        """
+        if every < 1:
+            raise ValueError(f"probe interval must be >= 1, got {every}")
+        self._probe = action
+        self._probe_every = every
+        self._probe_countdown = every
+
+    def clear_probe(self) -> None:
+        """Remove the observation hook installed by :meth:`set_probe`."""
+        self._probe = None
+        self._probe_every = 0
+        self._probe_countdown = 0
+
     def perf(self) -> EnginePerf:
         """Snapshot of the engine's performance counters."""
         return EnginePerf(
@@ -254,6 +284,11 @@ class Simulator:
         # simulation state, reports that runs byte-compare, or traces.
         wall_start = _time.perf_counter()  # lint: ok(R2): perf diagnostics only, never enters simulation state or compared reports
         allow_batch = True
+        # Probe state mirrored into locals for the hot loop; the countdown
+        # is written back in `finally` so the cadence spans run_until calls.
+        probe = self._probe
+        probe_every = self._probe_every
+        probe_countdown = self._probe_countdown
         # `pos`/`ready_len` shadow self._ready_pos/len(ready) inside the hot
         # loop; self._ready_pos is re-synced before every observation point
         # (action call or raise) so `pending` and the push-back in `finally`
@@ -321,6 +356,11 @@ class Simulator:
                 self.now = event_time
                 action()
                 executed += 1
+                if probe is not None:
+                    probe_countdown -= 1
+                    if probe_countdown <= 0:
+                        probe_countdown = probe_every
+                        probe()
                 if self._stopped:
                     # Leave the clock at the stopping event's time.
                     return executed
@@ -339,6 +379,8 @@ class Simulator:
                     heapq.heappush(heap, entry)
             del ready[:]
             self._ready_pos = 0
+            if probe is not None:
+                self._probe_countdown = probe_countdown
             self._events_processed += executed
             self._in_run = False
             self._wall_time += _time.perf_counter() - wall_start  # lint: ok(R2): perf diagnostics only, never enters simulation state or compared reports

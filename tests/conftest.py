@@ -1,0 +1,18 @@
+"""Suite-wide pytest configuration.
+
+Switches on the end-of-phase invariant sweep for every simulation the test
+suite runs: with ``REPRO_AUTO_CONSISTENCY`` set,
+:meth:`repro.core.system.CollectionSystem.run_phase` finishes by calling
+``consistency_check()`` (which delegates to the chaos layer's end-state
+monitors), so *any* test that advances a system through a measurement
+window also audits block conservation, buffer caps, peer tracking, and
+saved-segment accounting at teardown — for free.  Normal (non-pytest) runs
+leave the variable unset and pay nothing.
+"""
+
+import os
+
+
+def pytest_configure(config: object) -> None:
+    del config
+    os.environ.setdefault("REPRO_AUTO_CONSISTENCY", "1")

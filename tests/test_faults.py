@@ -89,6 +89,24 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan(outage_windows=((5.0, 6.0), (1.0, 2.0)))  # unsorted
 
+    def test_malformed_window_entries_name_the_offender(self):
+        with pytest.raises(ValueError, match=r"outage_windows\[1\]"):
+            FaultPlan(outage_windows=((0.0, 1.0), (2.0, 3.0, 4.0)))
+        with pytest.raises(ValueError, match=r"outage_windows\[0\]"):
+            FaultPlan(outage_windows=((1.0,),))
+        with pytest.raises(ValueError, match="pair of numbers"):
+            FaultPlan(outage_windows=((0.0, "soon"),))
+        with pytest.raises(ValueError, match=r"outage_windows\[0\]"):
+            FaultPlan(outage_windows=("window",))
+
+    def test_window_error_messages_locate_bad_values(self):
+        with pytest.raises(ValueError, match=r"outage_windows\[2\]"):
+            FaultPlan(
+                outage_windows=((0.0, 1.0), (2.0, 3.0), (5.0, 4.0))
+            )
+        with pytest.raises(ValueError, match="window 1 .* window 0 ends"):
+            FaultPlan(outage_windows=((0.0, 3.0), (2.0, 4.0)))
+
     def test_windows_and_renewal_mutually_exclusive(self):
         with pytest.raises(ValueError):
             FaultPlan(
@@ -415,3 +433,63 @@ class TestFaultsEndToEnd:
         assert data["blocks_rejected_polluted"] == 0
         assert data["burst_departures"] == 0
         assert data["outage_time"] == 0.0
+
+
+class TestFaultEdgeProperties:
+    """Chaos-motivated edge cases: extreme-but-valid plan corners."""
+
+    def test_full_pollution_fraction_nominates_everyone(self):
+        _, _, injector = make_injector(
+            FaultPlan(pollution_fraction=1.0), n_slots=12
+        )
+        assert injector.polluters == frozenset(range(12))
+        assert all(injector.is_polluter(slot) for slot in range(12))
+
+    def test_outage_window_starting_at_time_zero(self):
+        """Servers may be down from the very first event."""
+        plan = FaultPlan(outage_windows=((0.0, 2.0),))
+        system = CollectionSystem(params(faults=plan), seed=2)
+        system.metrics.begin_window(0.0)
+        system.run_until(1.0)
+        assert system.faults.servers_down
+        assert system.metrics.pulls.total == 0  # nothing pulled while down
+        system.run_until(6.0)
+        assert not system.faults.servers_down
+        assert system.metrics.pulls.total > 0
+        report = system.metrics.report(6.0)
+        assert report.outage_time == pytest.approx(2.0)
+        system.consistency_check()
+
+    def test_burst_can_exceed_live_population(self):
+        """burst_fraction=1.0 kills every slot, live or already empty."""
+        plan = FaultPlan(burst_rate=1.5, burst_fraction=1.0)
+        system, report = run_faulty(plan, mean_lifetime=4.0)
+        assert system.faults.burst_size() == system.params.n_peers
+        assert system.faults.bursts_fired > 0
+        assert report.burst_departures > 0
+        system.consistency_check()
+
+    def test_null_plan_neutral_under_monitor_hooks(self):
+        """Monitors installed on a null-plan run change zero events."""
+        from repro.chaos.monitors import MonitorSuite, runtime_monitors
+
+        def trace(plan, monitored):
+            tracer = Tracer()
+            system = CollectionSystem(
+                params(faults=plan), seed=7, tracer=tracer
+            )
+            if monitored:
+                suite = MonitorSuite(
+                    system, every=3, monitors=runtime_monitors(system)
+                )
+                with suite:
+                    system.run(2.0, 4.0)
+                    suite.check_now()
+                assert suite.checks_run > 10
+            else:
+                system.run(2.0, 4.0)
+            return [event.as_dict() for event in tracer.events]
+
+        baseline = trace(None, monitored=False)
+        assert trace(FaultPlan(), monitored=True) == baseline
+        assert len(baseline) > 100
