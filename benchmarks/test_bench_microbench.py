@@ -123,6 +123,39 @@ def test_bench_simulation_second(benchmark):
     benchmark.pedantic(advance_one_unit, rounds=10, iterations=1)
 
 
+def test_bench_simulation_second_defended(benchmark):
+    """The same simulated second with both server defenses switched on.
+
+    Honest population, so this prices the pure defense tax: every pull
+    outcome folds into the EWMA scorer and every capture check consults
+    trust.  The adversary-hooks-off cost is ``test_bench_simulation_second``
+    itself (the guards ride that path unconditionally); bench_compare
+    against the committed baseline bounds it.
+    """
+    params = Parameters(
+        n_peers=100,
+        arrival_rate=20.0,
+        gossip_rate=10.0,
+        deletion_rate=1.0,
+        normalized_capacity=8.0,
+        segment_size=20,
+        n_servers=4,
+        pull_scoring=True,
+        advert_discounting=True,
+    )
+    system = CollectionSystem(params, seed=1)
+    system.run_until(5.0)
+
+    state = {"t": 5.0}
+
+    def advance_one_unit():
+        state["t"] += 1.0
+        system.run_until(state["t"])
+
+    benchmark.pedantic(advance_one_unit, rounds=10, iterations=1)
+    assert system.metrics.false_quarantines.total == 0
+
+
 def test_bench_simulation_second_monitored(benchmark):
     """The same simulated second with the full invariant suite sweeping.
 

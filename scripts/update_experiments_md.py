@@ -44,6 +44,7 @@ TABLE_TITLES = {
     "ABL_CODE_TABLE": r"^Ablation — abstract innovation",
     "ABL_TOPO_TABLE": r"^Ablation — overlay degree",
     "ROBUST_TABLE": r"^Robustness — fault injection",
+    "ADVERSARY_TABLE": r"^Adversary — Byzantine strategies",
 }
 
 

@@ -1,0 +1,38 @@
+"""Byzantine peer-behavior models and server-side defenses.
+
+This package is the active-misbehavior counterpart of :mod:`repro.faults`:
+:class:`AdversaryPlan` declares which strategies are in play (liars,
+free-riders, strategic polluters, sybil bursts), the
+:class:`AdversaryInjector` executes them against a running simulation, and
+:class:`PullSourceScorer` implements the server-side defenses (pull-source
+scoring with quarantine, advertisement discounting).  See
+``docs/ADVERSARY.md`` for the threat model and the E-ADVERSARY experiment.
+"""
+
+from repro.adversary.defense import (
+    OUTCOME_JUNK,
+    OUTCOME_REDUNDANT,
+    OUTCOME_USEFUL,
+    PullSourceScorer,
+    SourceScore,
+)
+from repro.adversary.injector import AdversaryInjector
+from repro.adversary.plan import (
+    TARGET_LOW_DEGREE,
+    TARGET_UNIFORM,
+    VALID_TARGETING,
+    AdversaryPlan,
+)
+
+__all__ = [
+    "AdversaryInjector",
+    "AdversaryPlan",
+    "PullSourceScorer",
+    "SourceScore",
+    "OUTCOME_USEFUL",
+    "OUTCOME_REDUNDANT",
+    "OUTCOME_JUNK",
+    "TARGET_LOW_DEGREE",
+    "TARGET_UNIFORM",
+    "VALID_TARGETING",
+]

@@ -1,0 +1,279 @@
+"""Runtime adversary execution: the machinery behind an :class:`AdversaryPlan`.
+
+The :class:`AdversaryInjector` is the single object the collection system
+consults on its adversary-relevant hot paths (gossip emission, server pull
+targeting) and the owner of the sybil-burst clock.  It follows the same
+design rules as :class:`repro.faults.injector.FaultInjector`:
+
+- **Own randomness.**  Every adversarial draw comes from the dedicated
+  ``"adversary"`` RNG substream, so enabling a strategy never perturbs the
+  draws of injection, gossip, server, TTL, churn, or fault clocks.
+- **Bitwise neutrality at zero.**  A null plan constructs no injector at
+  all (the system guards every hook on ``None``), and each query
+  short-circuits before touching the RNG when its strategy is off.
+- **Hooks, not references.**  Sybil bursts act through an injected
+  kill-slots callback and read replacement generations through an injected
+  accessor, so the injector is testable standalone and never imports the
+  core layer.
+
+Role assignment is by *slot* (like the fault channel's polluters): the
+static liar/free-rider/polluter sets are disjoint slot sets sampled once at
+construction and persist across churn generations.  Sybil conversions are
+by *identity*: a burst force-departs slots through the churn model and
+marks each replacement ``(slot, generation)`` as adversarial; when natural
+churn replaces that generation, the slot reverts to honest.  An active
+sybil behaves as liar + free-rider.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.adversary.plan import TARGET_LOW_DEGREE, AdversaryPlan
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.metrics import MetricsCollector
+from repro.sim.rng import exponential
+from repro.sim.trace import Tracer
+
+
+class AdversaryInjector:
+    """Executes one :class:`AdversaryPlan` against a running simulation.
+
+    Args:
+        plan: The adversary configuration (must be non-null).
+        sim: The simulation engine (sybil bursts are scheduled on it).
+        rng: Dedicated ``random.Random`` substream for adversarial draws.
+        n_slots: Number of peer slots (role sampling, capture arithmetic).
+        metrics: Collector for degradation accounting.
+        tracer: Optional tracer (the system emits the sybil events).
+    """
+
+    def __init__(
+        self,
+        plan: AdversaryPlan,
+        sim: Simulator,
+        rng: random.Random,
+        n_slots: int,
+        metrics: MetricsCollector,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.plan = plan
+        self._sim = sim
+        self._rng = rng
+        self._n_slots = n_slots
+        self._metrics = metrics
+        self._tracer = tracer
+        liars, freeriders, polluters = self._sample_roles()
+        #: static role slot sets, disjoint by construction.
+        self.liars: FrozenSet[int] = liars
+        self.freeriders: FrozenSet[int] = freeriders
+        self.polluters: FrozenSet[int] = polluters
+        #: pre-sorted liar slots for deterministic capture choice.
+        self._liar_list: Tuple[int, ...] = tuple(sorted(liars))
+        #: active sybil identities: slot -> adversarial generation.
+        self._sybils: Dict[int, int] = {}
+        self._handles: List[EventHandle] = []
+        self._started = False
+        # hooks bound by the system before start()
+        self._kill_slots: Optional[Callable[[Sequence[int]], None]] = None
+        self._get_generation: Optional[Callable[[int], int]] = None
+        #: lifetime tallies (diagnostics; metrics hold windowed counts).
+        self.sybil_bursts_fired = 0
+        self.sybil_conversions = 0
+
+    def _sample_roles(
+        self,
+    ) -> Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
+        """Draw the disjoint liar/free-rider/polluter slot sets."""
+        plan = self.plan
+        n = self._n_slots
+        if plan.static_fraction <= 0.0:
+            return frozenset(), frozenset(), frozenset()
+        order = self._rng.sample(range(n), n)
+        counts = []
+        remaining = n
+        for fraction in (
+            plan.liar_fraction,
+            plan.freerider_fraction,
+            plan.polluter_fraction,
+        ):
+            count = 0
+            if fraction > 0.0:
+                count = min(remaining, max(1, round(fraction * n)))
+            counts.append(count)
+            remaining -= count
+        liar_end = counts[0]
+        freerider_end = liar_end + counts[1]
+        polluter_end = freerider_end + counts[2]
+        return (
+            frozenset(order[:liar_end]),
+            frozenset(order[liar_end:freerider_end]),
+            frozenset(order[freerider_end:polluter_end]),
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def bind(
+        self,
+        kill_slots: Callable[[Sequence[int]], None],
+        get_generation: Callable[[int], int],
+    ) -> None:
+        """Attach the system hooks sybil bursts act through."""
+        self._kill_slots = kill_slots
+        self._get_generation = get_generation
+
+    def start(self) -> None:
+        """Arm the sybil-burst clock (no-op when the strategy is off)."""
+        if self._started:
+            raise RuntimeError("adversary injector already started")
+        self._started = True
+        if self.plan.sybil_rate > 0:
+            if self._kill_slots is None or self._get_generation is None:
+                raise RuntimeError("bind() must be called before start()")
+            self._arm_next_sybil_burst()
+
+    def stop(self) -> None:
+        """Cancel every pending sybil burst (teardown for repeated runs)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+    # -- hot-path queries (off strategies must not touch the RNG) ----------------
+
+    def is_sybil(self, slot: int, generation: int) -> bool:
+        """True when this identity is an active sybil conversion."""
+        return bool(self._sybils) and self._sybils.get(slot) == generation
+
+    def suppress_gossip(self, slot: int, generation: int) -> bool:
+        """True when the peer free-rides (gossips nothing)."""
+        if not self.freeriders and not self._sybils:
+            return False
+        return slot in self.freeriders or self.is_sybil(slot, generation)
+
+    def targets_low_degree(self, slot: int) -> bool:
+        """True when *slot* is a strategic polluter steering its emissions
+        at the least-replicated segment it holds."""
+        if not self.polluters:
+            return False
+        return (
+            self.plan.polluter_targeting == TARGET_LOW_DEGREE
+            and slot in self.polluters
+        )
+
+    def pollutes_gossip(self, slot: int) -> bool:
+        """True when *slot* corrupts the block it is about to gossip."""
+        return bool(self.polluters) and slot in self.polluters
+
+    def serves_junk(self, slot: int, generation: int) -> bool:
+        """True when a server pull from this identity yields a junk block.
+
+        Liars and active sybils bait-and-switch; polluters corrupt every
+        emission.  Free-riders serve honest blocks — hoarding, not lying.
+        """
+        if not self.liars and not self.polluters and not self._sybils:
+            return False
+        return (
+            slot in self.liars
+            or slot in self.polluters
+            or self.is_sybil(slot, generation)
+        )
+
+    def is_adversarial(self, slot: int, generation: int) -> bool:
+        """True when this identity plays any adversarial role."""
+        return (
+            slot in self.liars
+            or slot in self.freeriders
+            or slot in self.polluters
+            or self.is_sybil(slot, generation)
+        )
+
+    # -- liar advertisement capture ----------------------------------------------
+
+    def _active_attractors(self) -> Sequence[int]:
+        """Slots currently advertising inflated buffers (liars + sybils)."""
+        if not self._sybils:
+            return self._liar_list
+        self._prune_sybils()
+        if not self._sybils:
+            return self._liar_list
+        extra = [
+            slot for slot in sorted(self._sybils) if slot not in self.liars
+        ]
+        return list(self._liar_list) + extra
+
+    def _prune_sybils(self) -> None:
+        """Drop sybil marks whose identity natural churn already replaced."""
+        get_generation = self._get_generation
+        if get_generation is None:
+            return
+        stale = [
+            slot
+            for slot, generation in self._sybils.items()
+            if get_generation(slot) != generation
+        ]
+        for slot in stale:
+            del self._sybils[slot]
+
+    def capture_pull(self) -> Optional[int]:
+        """Decide whether an advertising adversary captures one pull.
+
+        With ``k`` advertising adversaries each inflating its apparent
+        buffer by factor ``A``, a rank-weighted target selection lands on
+        some adversary with probability ``A*k / (A*k + (N - k))``; the
+        captured slot is then uniform among them.  Returns the capturing
+        slot, or None when the pull proceeds through the honest selection
+        path.  Runs with no liars and no sybils return None without
+        touching the RNG.
+        """
+        if not self.liars and not self._sybils:
+            return None
+        attractors = self._active_attractors()
+        k = len(attractors)
+        if k == 0:
+            return None
+        weight = self.plan.liar_inflation * k
+        honest = self._n_slots - k
+        if self._rng.random() >= weight / (weight + honest):
+            return None
+        return attractors[self._rng.randrange(k)]
+
+    def accept_capture(self, trust: float) -> bool:
+        """Advertisement discounting: a capture survives with prob *trust*."""
+        if trust >= 1.0:
+            return True
+        return trust > 0.0 and self._rng.random() < trust
+
+    # -- sybil bursts ------------------------------------------------------------
+
+    def sybil_burst_size(self) -> int:
+        """Slots converted per burst event (at least one, at most all)."""
+        return min(
+            self._n_slots,
+            max(1, round(self.plan.sybil_fraction * self._n_slots)),
+        )
+
+    def active_sybil_count(self) -> int:
+        """Currently active sybil identities (stale marks pruned)."""
+        if not self._sybils:
+            return 0
+        self._prune_sybils()
+        return len(self._sybils)
+
+    def _arm_next_sybil_burst(self) -> None:
+        gap = exponential(self._rng, self.plan.sybil_rate)
+        self._handles.append(self._sim.schedule(gap, self._fire_sybil_burst))
+
+    def _fire_sybil_burst(self) -> None:
+        slots = self._rng.sample(range(self._n_slots), self.sybil_burst_size())
+        self.sybil_bursts_fired += 1
+        assert self._kill_slots is not None  # start() enforces bind()
+        assert self._get_generation is not None
+        # The kill hook rides the churn replacement model: each slot's
+        # occupant departs and a fresh identity joins; we mark exactly that
+        # replacement generation as the adversarial identity.
+        self._kill_slots(slots)
+        for slot in slots:
+            self._sybils[slot] = self._get_generation(slot)
+        self.sybil_conversions += len(slots)
+        self._arm_next_sybil_burst()

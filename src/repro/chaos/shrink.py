@@ -82,6 +82,15 @@ def _with_params(config: TrialConfig, params: Dict[str, Any]) -> TrialConfig:
     return replace(config, params=params)
 
 
+#: knob groups that switch one adversary strategy off when removed together
+_ADVERSARY_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    ("liar_fraction", "liar_inflation"),
+    ("freerider_fraction",),
+    ("polluter_fraction", "polluter_targeting"),
+    ("sybil_rate", "sybil_fraction"),
+)
+
+
 def _candidates(config: TrialConfig) -> Iterator[TrialConfig]:
     """Structural reductions of *config*, biggest semantic cuts first."""
     # 1. Drop an entire fault channel.
@@ -93,8 +102,26 @@ def _candidates(config: TrialConfig) -> Iterator[TrialConfig]:
                 if key not in group
             }
             yield _with_plan(config, reduced)
+    # 1b. Dismiss the adversaries — wholesale first, then one strategy at
+    # a time (dropping just the liars can leave a valid sybil-only plan).
+    if config.adversary:
+        yield replace(config, adversary={})
+        for group in _ADVERSARY_GROUPS:
+            if any(key in config.adversary for key in group):
+                reduced = {
+                    key: value
+                    for key, value in config.adversary.items()
+                    if key not in group
+                }
+                if reduced:
+                    yield replace(config, adversary=reduced)
     # 2. Collapse protocol knobs back to the paper's defaults.
     params = config.params
+    for defense in ("pull_scoring", "advert_discounting"):
+        if params.get(defense):
+            smaller = dict(params)
+            smaller.pop(defense, None)
+            yield _with_params(config, smaller)
     if params.get("mean_lifetime") is not None:
         smaller = dict(params)
         smaller.pop("mean_lifetime", None)

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.adversary.plan import AdversaryPlan, VALID_TARGETING
 from repro.core.params import (
     MODE_RLNC,
     Parameters,
@@ -40,10 +41,11 @@ CHAOS_CAMPAIGN = "chaos-campaign"
 class TrialConfig:
     """One fully specified chaos trial: build it, run it, judge it.
 
-    ``params`` and ``plan`` are JSON-clean keyword dictionaries for
-    :class:`Parameters` and :class:`FaultPlan`; ``seed`` feeds the system's
-    seed registry; ``every`` is the invariant-monitor cadence in executed
-    events; ``mutant`` optionally names a seeded defect from
+    ``params``, ``plan``, and ``adversary`` are JSON-clean keyword
+    dictionaries for :class:`Parameters`, :class:`FaultPlan`, and
+    :class:`AdversaryPlan`; ``seed`` feeds the system's seed registry;
+    ``every`` is the invariant-monitor cadence in executed events;
+    ``mutant`` optionally names a seeded defect from
     :mod:`repro.chaos.mutants` to apply for the trial's duration.
     """
 
@@ -55,6 +57,7 @@ class TrialConfig:
     duration: float
     every: int
     mutant: Optional[str] = None
+    adversary: Dict[str, Any] = field(default_factory=dict)
 
     def build_fault_plan(self) -> Optional[FaultPlan]:
         """Reconstruct (and re-validate) the trial's fault plan."""
@@ -68,9 +71,19 @@ class TrialConfig:
             )
         return FaultPlan(**kwargs)
 
+    def build_adversary_plan(self) -> Optional[AdversaryPlan]:
+        """Reconstruct (and re-validate) the trial's adversary plan."""
+        if not self.adversary:
+            return None
+        return AdversaryPlan(**self.adversary)
+
     def build_params(self) -> Parameters:
         """Reconstruct (and re-validate) the trial's protocol parameters."""
-        return Parameters(faults=self.build_fault_plan(), **self.params)
+        return Parameters(
+            faults=self.build_fault_plan(),
+            adversary=self.build_adversary_plan(),
+            **self.params,
+        )
 
     @property
     def task_id(self) -> str:
@@ -84,6 +97,7 @@ class TrialConfig:
             "seed": self.seed,
             "params": dict(self.params),
             "plan": dict(self.plan),
+            "adversary": dict(self.adversary),
             "warmup": self.warmup,
             "duration": self.duration,
             "every": self.every,
@@ -99,6 +113,8 @@ class TrialConfig:
             seed=int(payload["seed"]),
             params=dict(payload["params"]),
             plan=dict(payload["plan"]),
+            # absent in pre-adversary journals: default to honest peers
+            adversary=dict(payload.get("adversary") or {}),
             warmup=float(payload["warmup"]),
             duration=float(payload["duration"]),
             every=int(payload["every"]),
@@ -109,11 +125,13 @@ class TrialConfig:
         """One-line summary for campaign logs."""
         plan = self.build_fault_plan()
         faults = plan.describe() if plan is not None else "no faults"
+        adversary = self.build_adversary_plan()
         n = self.params["n_peers"]
         return (
             f"trial {self.trial_id}: N={n} seed={self.seed} "
             f"T={self.warmup:g}+{self.duration:g} every={self.every} "
             f"[{faults}]"
+            + (f" [{adversary.describe()}]" if adversary is not None else "")
             + (f" mutant={self.mutant}" if self.mutant else "")
         )
 
@@ -157,6 +175,16 @@ class PlanSpace:
     #: (loss=1.0, burst kills everyone, buffer exactly one segment deep,
     #: outage window starting at t=0).
     extreme_probability: float = 0.2
+    #: probability a trial carries an adversary plan at all; per-strategy
+    #: activation inside an adversarial trial reuses channel_probability.
+    adversary_probability: float = 0.35
+    #: probability each server-side defense (pull-source scoring /
+    #: advertisement discounting) is switched on for a trial, independent
+    #: of whether the trial is adversarial — defenses must stay inert on
+    #: honest populations, and the monitors get to prove it.
+    defense_probability: float = 0.4
+    liar_inflation: Tuple[float, float] = (2.0, 16.0)
+    sybil_rate: Tuple[float, float] = (0.1, 1.5)
     pull_policies: Tuple[str, ...] = _PULL_POLICIES
     selections: Tuple[str, ...] = VALID_SELECTIONS
     #: extra keyword overrides applied verbatim to every sampled Parameters
@@ -269,6 +297,46 @@ class PlanSpace:
             )
         return plan
 
+    def _sample_adversary(self, rng: random.Random) -> Dict[str, Any]:
+        """Draw one adversary plan dict (empty = honest population).
+
+        Static fractions must sum to <= 1.0, so each activated role draws
+        from the head-room the earlier roles left; the extreme corner hands
+        the entire remaining population to a single role.
+        """
+        if rng.random() >= self.adversary_probability:
+            return {}
+        adversary: Dict[str, Any] = {}
+        active = self.channel_probability
+        extreme = self.extreme_probability
+        remaining = 1.0
+        for role in ("liar_fraction", "freerider_fraction", "polluter_fraction"):
+            if remaining < 0.05 or rng.random() >= active:
+                continue
+            fraction = (
+                remaining
+                if rng.random() < extreme
+                else round(rng.uniform(0.05, remaining), 6)
+            )
+            adversary[role] = round(fraction, 6)
+            remaining = round(remaining - fraction, 6)
+        if "liar_fraction" in adversary:
+            adversary["liar_inflation"] = round(
+                self._uniform(rng, self.liar_inflation), 6
+            )
+        if "polluter_fraction" in adversary:
+            adversary["polluter_targeting"] = rng.choice(list(VALID_TARGETING))
+        if rng.random() < active:
+            adversary["sybil_rate"] = round(
+                self._uniform(rng, self.sybil_rate), 6
+            )
+            adversary["sybil_fraction"] = (
+                1.0  # a burst converting the entire population
+                if rng.random() < extreme
+                else round(rng.uniform(0.05, 1.0), 6)
+            )
+        return adversary
+
     def sample(
         self,
         rng: random.Random,
@@ -280,11 +348,19 @@ class PlanSpace:
         warmup = round(self._uniform(rng, self.warmup), 6)
         duration = round(self._uniform(rng, self.duration), 6)
         plan = self._sample_plan(rng, warmup + duration)
+        adversary = self._sample_adversary(rng)
+        # Defense toggles ride the params dict (they are Parameters fields);
+        # setdefault keeps campaign-level params_overrides authoritative.
+        if rng.random() < self.defense_probability:
+            params.setdefault("pull_scoring", True)
+        if rng.random() < self.defense_probability:
+            params.setdefault("advert_discounting", True)
         config = TrialConfig(
             trial_id=trial_id,
             seed=rng.getrandbits(31),
             params=params,
             plan=plan,
+            adversary=adversary,
             warmup=warmup,
             duration=duration,
             every=self._randint(rng, self.every),

@@ -42,6 +42,7 @@ from repro.experiments import (
     budget_for,
     override_budget,
     parse_seeds,
+    run_adversary,
     run_baseline_comparison,
     run_buffer_ablation,
     run_coding_ablation,
@@ -67,6 +68,7 @@ RUNNERS: Dict[str, Callable[..., SeriesResult]] = {
     "transient": run_transient,
     "baseline": run_baseline_comparison,
     "robustness": run_robustness,
+    "adversary": run_adversary,
     "ablation-ttl": run_ttl_ablation,
     "ablation-buffer": run_buffer_ablation,
     "ablation-selection": run_selection_ablation,

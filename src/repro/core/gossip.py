@@ -30,6 +30,7 @@ from repro.coding.block import CodedBlock
 from repro.core.params import Parameters, SELECTION_UNIFORM
 from repro.core.peer import Peer
 from repro.core.segments import SegmentRegistry
+from repro.faults.injector import corrupt_block
 from repro.sim.metrics import MetricsCollector
 from repro.sim.topology import Topology
 
@@ -48,6 +49,7 @@ class GossipProtocol:
         registry: SegmentRegistry,
         metrics: MetricsCollector,
         faults=None,
+        adversary=None,
     ) -> None:
         self._params = params
         self._topology = topology
@@ -61,6 +63,9 @@ class GossipProtocol:
         #: emissions here, at the source (transfer loss is the receiver's
         #: problem and lives in the system's store callback).
         self._faults = faults
+        #: optional AdversaryInjector; free-riders/sybils suppress their
+        #: ticks here and strategic polluters steer + corrupt emissions.
+        self._adversary = adversary
 
     def tick(self, slot: int, now: float) -> bool:
         """One gossip opportunity for the peer in *slot*.
@@ -72,7 +77,27 @@ class GossipProtocol:
             # Idle tick: the μ-clock ran but there was nothing to send.
             return False
 
-        if self._params.segment_selection == SELECTION_UNIFORM:
+        adversary = self._adversary
+        if adversary is not None and adversary.suppress_gossip(
+            slot, sender.generation
+        ):
+            # Free-riders (and active sybils) consume blocks but contribute
+            # nothing: the μ-clock tick is silently wasted.
+            self._metrics.gossip_suppressed.increment(self._metrics.in_window)
+            return False
+
+        if adversary is not None and adversary.targets_low_degree(slot):
+            # Strategic polluter: aim at the held segment with the least
+            # network-wide redundancy (ties broken by lowest id for
+            # determinism) — exactly the segment least able to absorb junk.
+            segment_id = min(
+                sender.holdings,
+                key=lambda sid: (
+                    self._registry.get(sid).network_degree,
+                    sid,
+                ),
+            )
+        elif self._params.segment_selection == SELECTION_UNIFORM:
             segment_id = sender.sample_segment(self._rng)
         else:
             segment_id = sender.sample_segment_proportional(self._rng)
@@ -85,6 +110,8 @@ class GossipProtocol:
         block = holding.make_coded_block(self._coding_rng, now)
         if self._faults is not None:
             self._faults.maybe_pollute(slot, holding, block)
+        if adversary is not None and adversary.pollutes_gossip(slot):
+            corrupt_block(block)
         self._store_block(target, block)
         self._metrics.gossip_transfers.increment(self._metrics.in_window)
         return True

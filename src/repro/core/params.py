@@ -30,11 +30,14 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.adversary.plan import AdversaryPlan
 from repro.faults.plan import FaultPlan
 from repro.util.validation import (
+    require_in_range,
     require_nonnegative,
     require_positive,
     require_positive_int,
+    require_probability,
     require_rate,
 )
 
@@ -91,6 +94,26 @@ class Parameters:
     #: optional fault-injection configuration (lossy links, pollution,
     #: server outages, churn bursts); None or a null plan means fault-free.
     faults: Optional[FaultPlan] = None
+    #: optional Byzantine-behavior configuration (liars, free-riders,
+    #: strategic polluters, sybil bursts); None or a null plan means every
+    #: peer is honest.  See repro.adversary.
+    adversary: Optional[AdversaryPlan] = None
+    #: server-side defense: per-identity EWMA of useful-rank-delivered with
+    #: quarantine of persistently junk-serving pull sources.
+    pull_scoring: bool = False
+    #: server-side defense: liar advertisement capture is discounted by the
+    #: captured identity's trust score (requires no quarantine; the two
+    #: defenses are independently toggleable).
+    advert_discounting: bool = False
+    #: EWMA step size for the pull-source scorer.
+    scoring_alpha: float = 0.25
+    #: score below which an identity is quarantined (after min pulls).
+    quarantine_threshold: float = 0.25
+    #: scored pulls required before quarantine may trigger.
+    scoring_min_pulls: int = 8
+    #: every Nth rejected draw against a quarantined identity is admitted
+    #: as a probation probe so scores can recover.
+    probation_interval: int = 64
 
     def __post_init__(self) -> None:
         require_positive_int("n_peers", self.n_peers)
@@ -145,6 +168,23 @@ class Parameters:
             raise ValueError(
                 f"faults must be a FaultPlan or None, got {self.faults!r}"
             )
+        if self.adversary is not None and not isinstance(
+            self.adversary, AdversaryPlan
+        ):
+            raise ValueError(
+                f"adversary must be an AdversaryPlan or None, "
+                f"got {self.adversary!r}"
+            )
+        require_probability("scoring_alpha", self.scoring_alpha)
+        if self.scoring_alpha == 0.0:
+            raise ValueError(
+                "scoring_alpha must be > 0, got 0.0 (score would freeze)"
+            )
+        require_in_range(
+            "quarantine_threshold", self.quarantine_threshold, low=0.0, high=1.0
+        )
+        require_positive_int("scoring_min_pulls", self.scoring_min_pulls)
+        require_positive_int("probation_interval", self.probation_interval)
 
     # -- derived quantities --------------------------------------------------
 
@@ -201,6 +241,16 @@ class Parameters:
     def has_faults(self) -> bool:
         """True when a non-null fault plan is configured."""
         return self.faults is not None and not self.faults.is_null
+
+    @property
+    def has_adversary(self) -> bool:
+        """True when a non-null adversary plan is configured."""
+        return self.adversary is not None and not self.adversary.is_null
+
+    @property
+    def has_defenses(self) -> bool:
+        """True when any server-side defense is enabled."""
+        return self.pull_scoring or self.advert_discounting
 
     @property
     def is_coded(self) -> bool:

@@ -36,11 +36,16 @@ from repro.core.params import (
     SELECTION_UNIFORM,
     VALID_SELECTIONS,
 )
+from repro.adversary.defense import (
+    OUTCOME_JUNK,
+    OUTCOME_REDUNDANT,
+    OUTCOME_USEFUL,
+)
 from repro.core.peer import Peer
 from repro.core.segments import SegmentRegistry, SegmentState
 from repro.faults.injector import corrupt_block
 from repro.sim.metrics import MetricsCollector
-from repro.sim.trace import KIND_DROP, KIND_POLLUTED
+from repro.sim.trace import KIND_DROP, KIND_POLLUTED, KIND_QUARANTINE
 
 #: Server pull-scheduling policies (see module docstring).
 POLICY_RANDOM = "random"
@@ -68,6 +73,10 @@ class LoggingServer:
     dropped_pulls: int = 0
     #: fault injection: polluted blocks detected and discarded.
     polluted_pulls: int = 0
+    #: adversary: pulls a lying advertisement redirected to an attractor.
+    captured_pulls: int = 0
+    #: defense: target draws rejected because the identity was quarantined.
+    quarantined_pulls: int = 0
 
     @property
     def efficiency(self) -> float:
@@ -100,6 +109,10 @@ class ServerPool:
         n_slots: int = 0,
         faults=None,
         tracer=None,
+        adversary=None,
+        scorer=None,
+        discounting: bool = False,
+        on_quarantine: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         if n_servers < 1:
             raise ValueError(f"n_servers must be >= 1, got {n_servers}")
@@ -121,6 +134,11 @@ class ServerPool:
             raise ValueError(
                 "round-robin policy needs the all_peers accessor and n_slots"
             )
+        if adversary is not None and all_peers is None:
+            raise ValueError(
+                "an adversary injector needs the all_peers accessor "
+                "(captured pulls must be redirected to attractor slots)"
+            )
         self.servers: List[LoggingServer] = [
             LoggingServer(server_id=i) for i in range(n_servers)
         ]
@@ -140,6 +158,12 @@ class ServerPool:
         #: Tracer for the fault-channel events.
         self._faults = faults
         self._tracer = tracer
+        #: optional AdversaryInjector (liar capture, junk service) and
+        #: PullSourceScorer defense state, plus the defense toggles.
+        self._adversary = adversary
+        self._scorer = scorer
+        self._discounting = discounting and scorer is not None
+        self._on_quarantine = on_quarantine
 
     # -- candidate selection ---------------------------------------------------
 
@@ -220,11 +244,57 @@ class ServerPool:
             return
         peer, state = candidate
 
+        adversary = self._adversary
+        if adversary is not None:
+            captured = adversary.capture_pull()
+            if captured is not None:
+                # A lying advertisement won the target selection.  Under
+                # advertisement discounting the capture only survives with
+                # probability equal to the attractor's trust score.
+                cap_peer = self._all_peers(captured)
+                trust = 1.0
+                if self._discounting:
+                    trust = self._scorer.trust(
+                        cap_peer.slot, cap_peer.generation
+                    )
+                if adversary.accept_capture(trust):
+                    server.captured_pulls += 1
+                    self._metrics.pulls_captured.increment(in_window)
+                    if cap_peer.is_empty:
+                        # The attractor has nothing buffered: the pull is
+                        # wasted outright (bait with no switch).
+                        server.idle_pulls += 1
+                        self._metrics.idle_pulls.increment(in_window)
+                        return
+                    peer = cap_peer
+                    state = self._registry.get(self._draw_segment(peer))
+
+        scorer = self._scorer
+        if scorer is not None and scorer.quarantine_enabled:
+            # Pull-source scoring: re-draw while the selected identity is
+            # quarantined, up to the scheduler's retry budget.  An exhausted
+            # budget pulls anyway — quarantine demotes, it never starves the
+            # servers (liveness under fraction=1.0 adversaries).
+            tries = self._scheduler_tries
+            while not scorer.admit(peer.slot, peer.generation):
+                server.quarantined_pulls += 1
+                self._metrics.pulls_quarantine_rejected.increment(in_window)
+                tries -= 1
+                if tries <= 0:
+                    break
+                candidate = self._select()
+                if candidate is None:
+                    server.idle_pulls += 1
+                    self._metrics.idle_pulls.increment(in_window)
+                    return
+                peer, state = candidate
+
         if state.is_complete:
             # "servers may collect redundant blocks of a segment that is
             # already decodable" — charged, not prevented.
             server.redundant_pulls += 1
             self._metrics.redundant_pulls.increment(in_window)
+            self._score_outcome(peer, OUTCOME_REDUNDANT, now)
             return
 
         faults = self._faults
@@ -247,9 +317,14 @@ class ServerPool:
         while True:
             attempts -= 1
             holding = peer.holdings[state.segment_id]
-            polluted = faults is not None and faults.pollutes(
-                peer.slot, holding
+            adv_junk = adversary is not None and adversary.serves_junk(
+                peer.slot, peer.generation
             )
+            polluted = adv_junk or (
+                faults is not None and faults.pollutes(peer.slot, holding)
+            )
+            if adv_junk:
+                self._metrics.junk_blocks_served.increment(in_window)
             if self._rlnc_mode:
                 block = holding.make_coded_block(self._coding_rng, now)
                 if polluted:
@@ -272,6 +347,7 @@ class ServerPool:
             if polluted:
                 server.polluted_pulls += 1
                 self._metrics.blocks_rejected_polluted.increment(in_window)
+                self._score_outcome(peer, OUTCOME_JUNK, now)
                 if self._tracer is not None:
                     self._tracer.record(
                         now,
@@ -291,16 +367,32 @@ class ServerPool:
                 if state.is_complete:
                     server.redundant_pulls += 1
                     self._metrics.redundant_pulls.increment(in_window)
+                    self._score_outcome(peer, OUTCOME_REDUNDANT, now)
                     return
                 continue
 
             if innovative:
                 server.useful_pulls += 1
                 self._metrics.useful_pulls.increment(in_window)
+                self._score_outcome(peer, OUTCOME_USEFUL, now)
             else:
                 server.redundant_pulls += 1
                 self._metrics.redundant_pulls.increment(in_window)
+                self._score_outcome(peer, OUTCOME_REDUNDANT, now)
             return
+
+    def _score_outcome(self, peer: Peer, outcome: str, now: float) -> None:
+        """Fold one pull outcome into the defense scorer (if enabled)."""
+        scorer = self._scorer
+        if scorer is None:
+            return
+        if scorer.record(peer.slot, peer.generation, outcome):
+            # This observation newly quarantined the identity.
+            self._metrics.slots_quarantined.increment(self._metrics.in_window)
+            if self._tracer is not None:
+                self._tracer.record(now, KIND_QUARANTINE, peer=peer.slot)
+            if self._on_quarantine is not None:
+                self._on_quarantine(peer.slot, peer.generation)
 
     # -- diagnostics -----------------------------------------------------------
 

@@ -41,6 +41,8 @@ from repro.coding.block import (
     make_abstract_blocks,
     make_source_blocks,
 )
+from repro.adversary.defense import PullSourceScorer
+from repro.adversary.injector import AdversaryInjector
 from repro.core.gossip import GossipProtocol
 from repro.core.params import MODE_RLNC, Parameters
 from repro.core.peer import Peer
@@ -67,6 +69,7 @@ from repro.sim.trace import (
     KIND_GOSSIP,
     KIND_INJECT,
     KIND_LOST,
+    KIND_SYBIL,
     Tracer,
 )
 from repro.stats.workload import Workload
@@ -228,6 +231,32 @@ class CollectionSystem:
                 tracer=tracer,
             )
 
+        #: adversary injector, mirroring the fault injector's construction
+        #: rule: only a non-null plan gets one, every hook guards on None,
+        #: and its "adversary" substream is independent by name.
+        self.adversary: Optional[AdversaryInjector] = None
+        if params.has_adversary:
+            self.adversary = AdversaryInjector(
+                plan=params.adversary,
+                sim=self.sim,
+                rng=self.seeds.python("adversary"),
+                n_slots=params.n_peers,
+                metrics=self.metrics,
+                tracer=tracer,
+            )
+        #: server-side defense state, constructed when either defense is on
+        #: (the scorer is deterministic and draws no randomness, so its
+        #: presence cannot shift any RNG substream).
+        self.scorer: Optional[PullSourceScorer] = None
+        if params.has_defenses:
+            self.scorer = PullSourceScorer(
+                alpha=params.scoring_alpha,
+                threshold=params.quarantine_threshold,
+                min_pulls=params.scoring_min_pulls,
+                probation_interval=params.probation_interval,
+                quarantine=params.pull_scoring,
+            )
+
         capacity = params.effective_buffer_capacity
         self.peers: List[Peer] = [
             Peer(slot, capacity) for slot in range(params.n_peers)
@@ -244,6 +273,7 @@ class CollectionSystem:
             registry=self.registry,
             metrics=self.metrics,
             faults=self.faults,
+            adversary=self.adversary,
         )
         self.servers = ServerPool(
             n_servers=params.n_servers,
@@ -260,6 +290,10 @@ class CollectionSystem:
             n_slots=params.n_peers,
             faults=self.faults,
             tracer=tracer,
+            adversary=self.adversary,
+            scorer=self.scorer,
+            discounting=params.advert_discounting,
+            on_quarantine=self._on_quarantine,
         )
 
         #: decoded original data of completed segments (RLNC+payload mode):
@@ -302,6 +336,13 @@ class CollectionSystem:
                 kill_slots=self._burst_kill,
             )
             self.faults.start()
+
+        if self.adversary is not None:
+            self.adversary.bind(
+                kill_slots=self._sybil_burst,
+                get_generation=lambda slot: self.peers[slot].generation,
+            )
+            self.adversary.start()
 
     # -- construction ----------------------------------------------------------
 
@@ -590,6 +631,27 @@ class CollectionSystem:
                 self.sim.now, KIND_BURST, killed=float(len(slots))
             )
 
+    # -- adversary hooks (bound into the AdversaryInjector) -----------------------------
+
+    def _sybil_burst(self, slots) -> None:
+        """Sybil burst: each slot's occupant departs and the replacement
+        identity (the post-burst generation) is adversarial."""
+        for slot in slots:
+            self.churn.force_depart(slot)
+        self.metrics.sybil_conversions.increment(
+            self.metrics.in_window, len(slots)
+        )
+        if self.tracer is not None:
+            self.tracer.record(
+                self.sim.now, KIND_SYBIL, converted=float(len(slots))
+            )
+
+    def _on_quarantine(self, slot: int, generation: int) -> None:
+        """Classify a fresh quarantine as a hit or a false positive."""
+        adversary = self.adversary
+        if adversary is None or not adversary.is_adversarial(slot, generation):
+            self.metrics.false_quarantines.increment(self.metrics.in_window)
+
     # -- measurement lifecycle -------------------------------------------------------
 
     def run(self, warmup: float, duration: float) -> MetricsReport:
@@ -642,6 +704,8 @@ class CollectionSystem:
         self.churn.drain()
         if self.faults is not None:
             self.faults.stop()
+        if self.adversary is not None:
+            self.adversary.stop()
 
     # -- completion archive (RLNC + payload mode) --------------------------------------
 

@@ -13,6 +13,7 @@ runner                regenerates
 ``run_*_ablation``    design-choice ablations (TTL, buffer, selection,
                       scheduler, RLNC, topology)
 ``run_robustness``    E-ROBUST — graceful degradation under fault injection
+``run_adversary``     E-ADVERSARY — Byzantine strategies vs server defenses
 ====================  =====================================================
 
 Every runner is a thin wrapper over a ``plan_*`` builder that exposes the
@@ -30,6 +31,7 @@ Supporting machinery: quality budgets and :class:`SeriesResult`
 
 from typing import Callable, Dict
 
+from repro.experiments.adversary import plan_adversary, run_adversary
 from repro.experiments.ablations import (
     plan_buffer_ablation,
     plan_coding_ablation,
@@ -94,6 +96,7 @@ PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
     "transient": plan_transient,
     "baseline": plan_baseline_comparison,
     "robustness": plan_robustness,
+    "adversary": plan_adversary,
     "ablation-ttl": plan_ttl_ablation,
     "ablation-buffer": plan_buffer_ablation,
     "ablation-selection": plan_selection_ablation,
@@ -143,6 +146,8 @@ __all__ = [
     "run_fig5",
     "plan_fig6",
     "run_fig6",
+    "plan_adversary",
+    "run_adversary",
     "plan_robustness",
     "rlnc_pollution_audit",
     "run_robustness",

@@ -138,6 +138,14 @@ class MetricsReport:
     engine_events_fired: int = 0
     engine_events_cancelled: int = 0
     engine_heap_compactions: int = 0
+    # adversary degradation and defense accounting (all zero on honest runs)
+    gossip_suppressed: int = 0
+    pulls_captured: int = 0
+    junk_blocks_served: int = 0
+    pulls_quarantine_rejected: int = 0
+    slots_quarantined: int = 0
+    false_quarantines: int = 0
+    sybil_conversions: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat numeric dict (None delays become NaN) for aggregation."""
@@ -203,6 +211,14 @@ class MetricsCollector:
         self.transfers_dropped = WindowedCounter()
         self.blocks_rejected_polluted = WindowedCounter()
         self.burst_departures = WindowedCounter()
+        # adversary degradation and defense counters
+        self.gossip_suppressed = WindowedCounter()
+        self.pulls_captured = WindowedCounter()
+        self.junk_blocks_served = WindowedCounter()
+        self.pulls_quarantine_rejected = WindowedCounter()
+        self.slots_quarantined = WindowedCounter()
+        self.false_quarantines = WindowedCounter()
+        self.sybil_conversions = WindowedCounter()
 
         self._delay_samples: List[float] = []
         self._delivered_original_blocks = 0
@@ -254,6 +270,13 @@ class MetricsCollector:
             self.transfers_dropped,
             self.blocks_rejected_polluted,
             self.burst_departures,
+            self.gossip_suppressed,
+            self.pulls_captured,
+            self.junk_blocks_served,
+            self.pulls_quarantine_rejected,
+            self.slots_quarantined,
+            self.false_quarantines,
+            self.sybil_conversions,
         ]
 
     # -- event hooks (called by the system) --------------------------------
@@ -357,6 +380,13 @@ class MetricsCollector:
             engine_events_fired=engine.events_fired if engine else 0,
             engine_events_cancelled=engine.events_cancelled if engine else 0,
             engine_heap_compactions=engine.heap_compactions if engine else 0,
+            gossip_suppressed=self.gossip_suppressed.window,
+            pulls_captured=self.pulls_captured.window,
+            junk_blocks_served=self.junk_blocks_served.window,
+            pulls_quarantine_rejected=self.pulls_quarantine_rejected.window,
+            slots_quarantined=self.slots_quarantined.window,
+            false_quarantines=self.false_quarantines.window,
+            sybil_conversions=self.sybil_conversions.window,
         )
 
     #: Set by the system so storage overhead (rho - lambda/gamma) can be

@@ -38,6 +38,10 @@ KIND_POLLUTED = "polluted"
 KIND_OUTAGE = "outage"
 KIND_RECOVER = "recover"
 KIND_BURST = "burst"
+#: Adversary-channel event kinds (emitted only when an adversary plan or a
+#: server-side defense is active).
+KIND_SYBIL = "sybil"
+KIND_QUARANTINE = "quarantine"
 
 #: The single source of truth for every event kind the system may emit.
 #: ``repro.lint`` rule R3 statically checks each ``record(..., kind)`` call
@@ -57,6 +61,8 @@ TRACE_KINDS: Dict[str, str] = {
     KIND_OUTAGE: "a server outage window began",
     KIND_RECOVER: "the servers recovered from an outage",
     KIND_BURST: "a correlated churn burst fired",
+    KIND_SYBIL: "a sybil burst converted peer slots to adversarial identities",
+    KIND_QUARANTINE: "pull-source scoring quarantined a peer identity",
 }
 
 #: Kinds every fault-free run can emit.
@@ -81,10 +87,23 @@ FAULT_KINDS = frozenset(
         KIND_BURST,
     }
 )
+#: Kinds only a run with an adversary plan or defenses can emit.
+ADVERSARY_KINDS = frozenset(
+    {
+        KIND_SYBIL,
+        KIND_QUARANTINE,
+    }
+)
 ALL_KINDS = frozenset(TRACE_KINDS)
-if PROTOCOL_KINDS | FAULT_KINDS != ALL_KINDS:  # pragma: no cover - import guard
+if (  # pragma: no cover - import guard
+    PROTOCOL_KINDS | FAULT_KINDS | ADVERSARY_KINDS != ALL_KINDS
+    or PROTOCOL_KINDS & FAULT_KINDS
+    or PROTOCOL_KINDS & ADVERSARY_KINDS
+    or FAULT_KINDS & ADVERSARY_KINDS
+):
     raise AssertionError(
-        "PROTOCOL_KINDS | FAULT_KINDS must partition the TRACE_KINDS registry"
+        "PROTOCOL_KINDS | FAULT_KINDS | ADVERSARY_KINDS must partition the "
+        "TRACE_KINDS registry"
     )
 
 

@@ -23,6 +23,7 @@ from repro.stats.workload import (
     FlashCrowdWorkload,
     PiecewiseWorkload,
     ShutoffWorkload,
+    TraceWorkload,
     Workload,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "FlashCrowdWorkload",
     "PiecewiseWorkload",
     "ShutoffWorkload",
+    "TraceWorkload",
     "Workload",
 ]

@@ -10,6 +10,8 @@ defines the rate profiles:
 - :class:`FlashCrowdWorkload` — baseline rate with a multiplicative burst
   over a time window (the DDoS-like peak of Sec. 1),
 - :class:`DiurnalWorkload` — sinusoidal day/night swing,
+- :class:`TraceWorkload` — eDonkey-calibrated synthetic trace (diurnal base
+  modulated by heavy-tailed session arrivals; the E-ADVERSARY setting),
 - :class:`PiecewiseWorkload` — arbitrary step profile, and
 - :class:`ShutoffWorkload` — demand that ends at a cutoff time (the
   Theorem 4 "streams of upload requests end" scenario, where the buffered
@@ -25,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
+from repro.sim.rng import SeedSequenceRegistry
 from repro.util.validation import require_nonnegative, require_positive
 
 
@@ -143,6 +146,102 @@ class DiurnalWorkload(Workload):
         return self.base_rate * (
             1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
         )
+
+    def mean_rate(self, t0: float, t1: float, resolution: int = 2048) -> float:
+        """Closed form: the sine integrates exactly, no quadrature needed.
+
+        ``∫ base·(1 + a·sin(ωt)) dt = base·[(t1-t0) + a·(cos(ωt0) - cos(ωt1))/ω]``
+        with ``ω = 2π/period``.
+        """
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+        omega = 2.0 * math.pi / self.period
+        integral = (t1 - t0) + self.amplitude * (
+            math.cos(omega * t0) - math.cos(omega * t1)
+        ) / omega
+        return self.base_rate * integral / (t1 - t0)
+
+
+class TraceWorkload(Workload):
+    """eDonkey-calibrated synthetic trace: diurnal base × heavy-tailed sessions.
+
+    The eDonkey measurement studies (PAPERS.md) show two structures the
+    plain profiles miss: a strong day/night swing in activity, and session
+    lengths with a heavy (Pareto-like) tail — a few very long sessions
+    carry a disproportionate share of the load.  This workload synthesizes
+    both: session arrivals are Poisson at ``session_rate``, each session
+    draws a Pareto duration with mean ``mean_session`` and tail exponent
+    ``session_shape``, and while active it boosts the diurnal base rate by
+    ``boost_per_session``.  The total boost is capped at ``peak_boost`` so
+    the thinning envelope stays finite and tight.
+
+    The realized profile is *frozen at construction* from its own seeded
+    RNG (via the ``"trace-workload"`` substream), so the same
+    ``(seed, horizon)`` always yields the identical rate function — the
+    byte-compare contract the experiment runner depends on — and the
+    simulation's substreams are untouched.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        amplitude: float = 0.6,
+        period: float = 24.0,
+        session_rate: float = 0.25,
+        mean_session: float = 4.0,
+        session_shape: float = 1.5,
+        boost_per_session: float = 0.5,
+        peak_boost: float = 2.0,
+        horizon: float = 96.0,
+        seed: int = 0,
+    ) -> None:
+        self._diurnal = DiurnalWorkload(base_rate, amplitude, period)
+        require_nonnegative("session_rate", session_rate)
+        require_positive("mean_session", mean_session)
+        if session_shape <= 1.0:
+            raise ValueError(
+                f"session_shape must be > 1 (finite mean), got {session_shape}"
+            )
+        require_nonnegative("boost_per_session", boost_per_session)
+        require_nonnegative("peak_boost", peak_boost)
+        require_positive("horizon", horizon)
+        self.session_rate = session_rate
+        self.mean_session = mean_session
+        self.session_shape = session_shape
+        self.boost_per_session = boost_per_session
+        self.peak_boost = peak_boost
+        self.horizon = horizon
+        # Frozen realization: Poisson session starts on [0, horizon),
+        # Pareto durations scaled so the mean is exactly mean_session.
+        rng = SeedSequenceRegistry(seed).python("trace-workload")
+        scale = mean_session * (session_shape - 1.0) / session_shape
+        sessions: List[Tuple[float, float]] = []
+        t = 0.0
+        while session_rate > 0.0:
+            t += rng.expovariate(session_rate)
+            if t >= horizon:
+                break
+            sessions.append((t, t + scale * rng.paretovariate(session_shape)))
+        self._sessions = sessions
+
+    @property
+    def max_rate(self) -> float:
+        return self._diurnal.max_rate * (1.0 + self.peak_boost)
+
+    def _boost(self, t: float) -> float:
+        total = sum(
+            self.boost_per_session
+            for start, end in self._sessions
+            if start <= t < end
+        )
+        return min(total, self.peak_boost)
+
+    def rate(self, t: float) -> float:
+        return self._diurnal.rate(t) * (1.0 + self._boost(t))
+
+    def active_sessions(self, t: float) -> int:
+        """Sessions overlapping time *t* (diagnostics/tests)."""
+        return sum(1 for start, end in self._sessions if start <= t < end)
 
 
 class PiecewiseWorkload(Workload):

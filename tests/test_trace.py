@@ -5,6 +5,7 @@ import pytest
 from repro.core.params import Parameters
 from repro.core.system import CollectionSystem
 from repro.sim.trace import (
+    ADVERSARY_KINDS,
     ALL_KINDS,
     FAULT_KINDS,
     KIND_COMPLETE,
@@ -104,8 +105,10 @@ class TestInstrumentedSystem:
         assert set(tracer.counts) == set(PROTOCOL_KINDS)
 
     def test_kind_sets_partition(self):
-        assert PROTOCOL_KINDS | FAULT_KINDS == ALL_KINDS
+        assert PROTOCOL_KINDS | FAULT_KINDS | ADVERSARY_KINDS == ALL_KINDS
         assert not PROTOCOL_KINDS & FAULT_KINDS
+        assert not PROTOCOL_KINDS & ADVERSARY_KINDS
+        assert not FAULT_KINDS & ADVERSARY_KINDS
 
     def test_inject_counts_match_metrics(self):
         tracer = Tracer()

@@ -10,6 +10,8 @@ from repro.stats.workload import (
     FlashCrowdWorkload,
     PiecewiseWorkload,
     ShutoffWorkload,
+    TraceWorkload,
+    Workload,
 )
 
 
@@ -123,3 +125,82 @@ class TestShutoff:
     def test_peak_to_average_infinite_after_cutoff(self):
         w = ShutoffWorkload(3.0, cutoff=0.0)
         assert math.isinf(w.peak_to_average(1, 2))
+
+
+class TestDiurnalClosedForm:
+    def test_matches_numeric_quadrature(self):
+        w = DiurnalWorkload(base_rate=4.0, amplitude=0.7, period=24.0)
+        for t0, t1 in [(0.0, 24.0), (3.0, 11.5), (0.0, 5.0), (17.0, 40.0)]:
+            numeric = Workload.mean_rate(w, t0, t1, resolution=8192)
+            assert w.mean_rate(t0, t1) == pytest.approx(numeric, abs=1e-5)
+
+    def test_full_period_mean_is_exactly_base(self):
+        w = DiurnalWorkload(base_rate=4.0, amplitude=0.5, period=24.0)
+        assert w.mean_rate(0.0, 24.0) == pytest.approx(4.0, abs=1e-12)
+        assert w.mean_rate(6.0, 30.0) == pytest.approx(4.0, abs=1e-12)
+
+    def test_bad_interval_rejected(self):
+        w = DiurnalWorkload(base_rate=4.0, amplitude=0.5, period=24.0)
+        with pytest.raises(ValueError):
+            w.mean_rate(5.0, 5.0)
+
+
+class TestTrace:
+    def make(self, **overrides):
+        kwargs = dict(
+            base_rate=4.0,
+            amplitude=0.6,
+            period=24.0,
+            session_rate=0.5,
+            mean_session=4.0,
+            boost_per_session=0.5,
+            peak_boost=2.0,
+            horizon=48.0,
+            seed=7,
+        )
+        kwargs.update(overrides)
+        return TraceWorkload(**kwargs)
+
+    def test_deterministic_for_same_seed(self):
+        a, b = self.make(), self.make()
+        times = [i * 0.37 for i in range(130)]
+        assert [a.rate(t) for t in times] == [b.rate(t) for t in times]
+
+    def test_different_seeds_differ(self):
+        a, b = self.make(), self.make(seed=8)
+        times = [i * 0.37 for i in range(130)]
+        assert [a.rate(t) for t in times] != [b.rate(t) for t in times]
+
+    def test_rate_respects_thinning_envelope(self):
+        w = self.make()
+        assert w.max_rate == pytest.approx(4.0 * 1.6 * 3.0)
+        for i in range(481):
+            t = i * 0.1
+            assert 0.0 < w.rate(t) <= w.max_rate
+
+    def test_sessions_boost_the_diurnal_base(self):
+        w = self.make()
+        diurnal = DiurnalWorkload(4.0, 0.6, 24.0)
+        boosted = [
+            t * 0.25
+            for t in range(192)
+            if w.active_sessions(t * 0.25) > 0
+        ]
+        assert boosted  # the realization has active sessions somewhere
+        for t in boosted:
+            assert w.rate(t) > diurnal.rate(t)
+
+    def test_no_sessions_reduces_to_diurnal(self):
+        w = self.make(session_rate=0.0)
+        diurnal = DiurnalWorkload(4.0, 0.6, 24.0)
+        for i in range(100):
+            t = i * 0.4
+            assert w.rate(t) == pytest.approx(diurnal.rate(t))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="session_shape"):
+            self.make(session_shape=1.0)
+        with pytest.raises(ValueError, match="horizon"):
+            self.make(horizon=0.0)
+        with pytest.raises(ValueError, match="mean_session"):
+            self.make(mean_session=0.0)
