@@ -19,7 +19,7 @@ payloads afterwards for the full violation details it shrinks and writes
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.chaos.harness import TrialOutcome, run_trial
 from repro.chaos.mutants import MUTANTS, mutant_names
@@ -38,9 +38,9 @@ def campaign_options(
     seed: int,
     mutant: Optional[str] = None,
     every: Optional[int] = None,
-) -> dict:
+) -> Dict[str, Any]:
     """JSON-clean options mapping for a chaos campaign spec."""
-    options: dict = {"budget": int(budget), "seed": int(seed)}
+    options: Dict[str, Any] = {"budget": int(budget), "seed": int(seed)}
     if mutant is not None:
         options["mutant"] = str(mutant)
     if every is not None:

@@ -30,7 +30,15 @@ keep working unchanged.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+)
 
 import numpy as np
 
@@ -203,7 +211,7 @@ class DecodeFidelityMonitor(InvariantMonitor):
 
     def __init__(self, originals: Mapping[int, np.ndarray]) -> None:
         self._originals = originals
-        self._checked: set = set()
+        self._checked: Set[int] = set()
 
     def check(self, system: "CollectionSystem", now: float) -> None:
         for segment_id, (descriptor, decoded) in system.collected_data.items():

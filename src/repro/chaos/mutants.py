@@ -153,6 +153,7 @@ def _install_churn_leaks_registry_degree() -> Undo:
 
 
 #: Registry of every seeded defect, keyed by CLI name.
+# lint: ok(R8): read-only registry built once at import and never mutated
 MUTANTS: Dict[str, Mutant] = {
     mutant.name: mutant
     for mutant in (

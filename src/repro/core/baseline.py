@@ -22,7 +22,7 @@ block counts as a completed size-1 segment, giving per-block delay).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.params import Parameters
 from repro.core.system import PostmortemReport, SourceRecovery
@@ -126,8 +126,8 @@ class DirectCollectionSystem:
         self.lost_to_overflow = 0
         #: per-source accounting for postmortem comparison with the
         #: indirect system: (slot, generation) -> blocks generated/delivered.
-        self.injected_by_source: dict = {}
-        self.delivered_by_source: dict = {}
+        self.injected_by_source: Dict[Tuple[int, int], int] = {}
+        self.delivered_by_source: Dict[Tuple[int, int], int] = {}
 
         self._processes: List[PoissonProcess] = []
         for slot in range(params.n_peers):
@@ -313,7 +313,7 @@ class DirectCollectionSystem:
         """
         departed = SourceRecovery()
         live = SourceRecovery()
-        live_backlog: dict = {}
+        live_backlog: Dict[Tuple[int, int], int] = {}
         for peer in self.peers:
             count = peer.live_count()
             if count:

@@ -26,11 +26,14 @@ from __future__ import annotations
 import random
 from typing import Callable, Optional
 
+import numpy as np
+
+from repro.adversary.injector import AdversaryInjector
 from repro.coding.block import CodedBlock
 from repro.core.params import Parameters, SELECTION_UNIFORM
 from repro.core.peer import Peer
 from repro.core.segments import SegmentRegistry
-from repro.faults.injector import corrupt_block
+from repro.faults.injector import FaultInjector, corrupt_block
 from repro.sim.metrics import MetricsCollector
 from repro.sim.topology import Topology
 
@@ -43,13 +46,13 @@ class GossipProtocol:
         params: Parameters,
         topology: Topology,
         rng: random.Random,
-        coding_rng,
+        coding_rng: np.random.Generator,
         get_peer: Callable[[int], Peer],
         store_block: Callable[[Peer, CodedBlock], None],
         registry: SegmentRegistry,
         metrics: MetricsCollector,
-        faults=None,
-        adversary=None,
+        faults: Optional[FaultInjector] = None,
+        adversary: Optional[AdversaryInjector] = None,
     ) -> None:
         self._params = params
         self._topology = topology

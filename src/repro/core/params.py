@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.adversary.plan import AdversaryPlan
 from repro.faults.plan import FaultPlan
@@ -262,7 +262,7 @@ class Parameters:
         """Theorem 2's standing assumption c < μ."""
         return self.normalized_capacity < self.gossip_rate
 
-    def with_changes(self, **changes) -> "Parameters":
+    def with_changes(self, **changes: Any) -> "Parameters":
         """Return a copy with *changes* applied (re-validated)."""
         return replace(self, **changes)
 

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.coding.block import CodedBlock, SegmentDescriptor
 from repro.coding.linalg import rank as matrix_rank
-from repro.coding.rlnc import recode
+from repro.coding.rlnc import RngLike, recode
 from repro.util.randomset import RandomizedSet
 
 
@@ -89,7 +89,7 @@ class SegmentHolding:
         self._rank_cache = None
         return True
 
-    def make_coded_block(self, rng, now: float) -> CodedBlock:
+    def make_coded_block(self, rng: RngLike, now: float) -> CodedBlock:
         """Emit one (re)coded block from the held blocks (Sec. 2 step 1).
 
         Abstract mode emits a bare block (an edge copy); RLNC mode draws

@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.params import (
     SELECTION_PROPORTIONAL,
@@ -40,12 +42,19 @@ from repro.adversary.defense import (
     OUTCOME_JUNK,
     OUTCOME_REDUNDANT,
     OUTCOME_USEFUL,
+    PullSourceScorer,
 )
+from repro.adversary.injector import AdversaryInjector
 from repro.core.peer import Peer
 from repro.core.segments import SegmentRegistry, SegmentState
-from repro.faults.injector import corrupt_block
+from repro.faults.injector import FaultInjector, corrupt_block
 from repro.sim.metrics import MetricsCollector
-from repro.sim.trace import KIND_DROP, KIND_POLLUTED, KIND_QUARANTINE
+from repro.sim.trace import (
+    KIND_DROP,
+    KIND_POLLUTED,
+    KIND_QUARANTINE,
+    Tracer,
+)
 
 #: Server pull-scheduling policies (see module docstring).
 POLICY_RANDOM = "random"
@@ -99,7 +108,7 @@ class ServerPool:
         registry: SegmentRegistry,
         metrics: MetricsCollector,
         rng: random.Random,
-        coding_rng,
+        coding_rng: np.random.Generator,
         sample_nonempty_peer: Callable[[], Optional[Peer]],
         rlnc_mode: bool,
         segment_selection: str = SELECTION_PROPORTIONAL,
@@ -107,10 +116,10 @@ class ServerPool:
         scheduler_tries: int = 8,
         all_peers: Optional[Callable[[int], Peer]] = None,
         n_slots: int = 0,
-        faults=None,
-        tracer=None,
-        adversary=None,
-        scorer=None,
+        faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
+        adversary: Optional[AdversaryInjector] = None,
+        scorer: Optional[PullSourceScorer] = None,
         discounting: bool = False,
         on_quarantine: Optional[Callable[[int, int], None]] = None,
     ) -> None:
@@ -172,14 +181,14 @@ class ServerPool:
             return peer.sample_segment(self._rng)
         return peer.sample_segment_proportional(self._rng)
 
-    def _draw_candidate(self) -> Optional[tuple]:
+    def _draw_candidate(self) -> Optional[Tuple[Peer, SegmentState]]:
         """One (peer, segment state) draw under the paper's random policy."""
         peer = self._sample_nonempty_peer()
         if peer is None:
             return None
         return peer, self._registry.get(self._draw_segment(peer))
 
-    def _draw_round_robin(self) -> Optional[tuple]:
+    def _draw_round_robin(self) -> Optional[Tuple[Peer, SegmentState]]:
         """Next non-empty peer in slot order (at most one full sweep)."""
         for _ in range(self._n_slots):
             peer = self._all_peers(self._rr_cursor)
@@ -188,7 +197,7 @@ class ServerPool:
                 return peer, self._registry.get(self._draw_segment(peer))
         return None
 
-    def _select(self) -> Optional[tuple]:
+    def _select(self) -> Optional[Tuple[Peer, SegmentState]]:
         """Pick the (peer, segment) to pull from, according to the policy."""
         if self._policy == POLICY_ROUND_ROBIN:
             return self._draw_round_robin()
@@ -200,7 +209,7 @@ class ServerPool:
                     return candidate
             return candidate  # every try was redundant: pay the redundant pull
         if self._policy == POLICY_GREEDY_COMPLETION:
-            best: Optional[tuple] = None
+            best: Optional[Tuple[Peer, SegmentState]] = None
             for _ in range(self._scheduler_tries):
                 candidate = self._draw_candidate()
                 if candidate is None:

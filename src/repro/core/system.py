@@ -31,7 +31,7 @@ churn departure        1/L                          peer slot
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -98,7 +98,7 @@ class SourceRecovery:
         delivered: int = 0,
         recoverable: int = 0,
         collected: int = 0,
-    ):
+    ) -> None:
         self.injected = injected
         self.delivered = delivered
         self.recoverable = recoverable
@@ -299,16 +299,18 @@ class CollectionSystem:
         #: decoded original data of completed segments (RLNC+payload mode):
         #: segment_id -> (descriptor, payload rows).  Filled automatically at
         #: completion time, before extinction can discard the decoder.
-        self.collected_data: Dict[int, tuple] = {}
+        self.collected_data: Dict[
+            int, Tuple[SegmentDescriptor, np.ndarray]
+        ] = {}
         #: per-source accounting for postmortem analysis: maps
         #: (slot, generation) -> blocks injected / blocks delivered.  Lets an
         #: experiment ask "how much data of a peer that has since departed
         #: did the servers recover?" — the Sec. 1 resilience claim.
-        self.injected_by_source: Dict[tuple, int] = {}
-        self.delivered_by_source: Dict[tuple, int] = {}
+        self.injected_by_source: Dict[Tuple[int, int], int] = {}
+        self.delivered_by_source: Dict[Tuple[int, int], int] = {}
         #: coded blocks usefully collected per source, regardless of whether
         #: the segment has completed yet — the paper's intake notion.
-        self.collected_by_source: Dict[tuple, int] = {}
+        self.collected_by_source: Dict[Tuple[int, int], int] = {}
         self.registry.on_complete = self._on_segment_complete
         self.registry.on_useful_pull = self._on_useful_pull
         if tracer is not None:
@@ -619,7 +621,7 @@ class CollectionSystem:
             for _ in range(catchup):
                 self.servers.pull(index, self.sim.now)
 
-    def _burst_kill(self, slots) -> None:
+    def _burst_kill(self, slots: Sequence[int]) -> None:
         """Correlated churn burst: force-depart every slot in *slots* now."""
         for slot in slots:
             self.churn.force_depart(slot)
@@ -633,7 +635,7 @@ class CollectionSystem:
 
     # -- adversary hooks (bound into the AdversaryInjector) -----------------------------
 
-    def _sybil_burst(self, slots) -> None:
+    def _sybil_burst(self, slots: Sequence[int]) -> None:
         """Sybil burst: each slot's occupant departs and the replacement
         identity (the post-burst generation) is adversarial."""
         for slot in slots:
@@ -773,7 +775,7 @@ class CollectionSystem:
         segments; recoverable counts live incomplete segments the servers
         can still finish (network degree >= blocks still missing).
         """
-        recoverable_by_source: Dict[tuple, int] = {}
+        recoverable_by_source: Dict[Tuple[int, int], int] = {}
         for state in self.registry.live_states():
             if state.is_complete:
                 continue

@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.params import Parameters
 from repro.core.system import CollectionSystem
+from repro.stats.workload import Workload
 from repro.util.summary import summarize
 from repro.util.tables import render_series
 
@@ -325,7 +326,7 @@ def simulate_cell(
     duration: float,
     metrics: Sequence[str],
     seed: int,
-    workload=None,
+    workload: Optional[Workload] = None,
 ) -> Dict[str, Optional[float]]:
     """Run ONE (parameter point, seed) simulation; extract *metrics*.
 
@@ -370,7 +371,7 @@ def simulate_metrics(
     params: Parameters,
     budget: SimBudget,
     metrics: Sequence[str],
-    workload=None,
+    workload: Optional[Workload] = None,
 ) -> Dict[str, float]:
     """Run one parameter point over the budget's seeds; mean each metric.
 

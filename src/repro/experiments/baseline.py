@@ -32,7 +32,7 @@ coded copies outlive their source.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Mapping, Optional
+from typing import Callable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.baseline import DirectCollectionSystem
 from repro.core.params import Parameters
@@ -63,7 +63,7 @@ class FlashCrowdScenario:
     normalized_capacity: float = 6.0  # covers the 4-6 average, not the 20 peak
     segment_size: int = 20
     mean_lifetime: float = 4.0
-    phase_ends: tuple = (10.0, 15.0, 25.0, 40.0)
+    phase_ends: Tuple[float, ...] = (10.0, 15.0, 25.0, 40.0)
 
     def workload(self) -> FlashCrowdWorkload:
         return FlashCrowdWorkload(
@@ -104,7 +104,11 @@ def plan_baseline_comparison(
         mean_lifetime=scenario.mean_lifetime,
     )
 
-    def phase_intake(system) -> List[float]:
+    def phase_intake(
+        system: Union[
+            CollectionSystem, DirectCollectionSystem, PushCollectionSystem
+        ],
+    ) -> List[float]:
         intake: List[float] = []
         previous_end = 0.0
         for phase_end in scenario.phase_ends:
@@ -120,7 +124,9 @@ def plan_baseline_comparison(
         intake = phase_intake(push)
         return {"intake": intake, "loss_fraction": push.loss_fraction()}
 
-    def departed_payload(system) -> Payload:
+    def departed_payload(
+        system: Union[CollectionSystem, DirectCollectionSystem],
+    ) -> Payload:
         departed = system.postmortem().departed
         return {
             "collected_fraction": departed.collected_fraction,
@@ -142,7 +148,7 @@ def plan_baseline_comparison(
         intake = phase_intake(indirect)
         return {"intake": intake, **departed_payload(indirect)}
 
-    builders: List[tuple] = [
+    builders: List[Tuple[str, Callable[[], Payload]]] = [
         ("push", run_push), ("pull", run_pull), ("indirect", run_indirect)
     ]
     tasks = [

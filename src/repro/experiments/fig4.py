@@ -23,7 +23,7 @@ not model churn, so this figure is simulation-driven there as well.
 from __future__ import annotations
 
 from functools import partial
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.core.params import Parameters
 from repro.experiments.base import (
@@ -58,7 +58,7 @@ METRICS = ("normalized_throughput",)
 def plan_fig4(
     quality: str = QUALITY_FAST,
     mu_values: Optional[Sequence[float]] = None,
-    scenarios: Sequence = SCENARIOS,
+    scenarios: Sequence[Tuple[float, int]] = SCENARIOS,
     budget: Optional[SimBudget] = None,
 ) -> ExperimentPlan:
     """Fig. 4 as a task grid: one cell per (c, s, regime, mu, seed)."""
@@ -130,7 +130,7 @@ def plan_fig4(
 def run_fig4(
     quality: str = QUALITY_FAST,
     mu_values: Optional[Sequence[float]] = None,
-    scenarios: Sequence = SCENARIOS,
+    scenarios: Sequence[Tuple[float, int]] = SCENARIOS,
     budget: Optional[SimBudget] = None,
 ) -> SeriesResult:
     """Regenerate Fig. 4's series; returns the table-ready result."""

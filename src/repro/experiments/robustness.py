@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import math
 from functools import partial
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.coding.block import SegmentDescriptor
 from repro.core.params import Parameters
 from repro.core.system import CollectionSystem
 from repro.experiments.base import (
@@ -206,7 +207,7 @@ def rlnc_pollution_audit(
     seed: int = 5,
     pollution_fraction: float = 0.3,
     payload_bytes: int = 16,
-) -> tuple:
+) -> Tuple[int, int, int]:
     """End-to-end pollution-detection audit in full-RLNC mode.
 
     Runs a small RLNC session with polluting peers and known payloads and
@@ -221,7 +222,7 @@ def rlnc_pollution_audit(
     # reproducible from the session seed without perturbing protocol draws.
     payload_seeds = SeedSequenceRegistry(seed).spawn("pollution-audit-payloads")
 
-    def provider(descriptor) -> np.ndarray:
+    def provider(descriptor: SegmentDescriptor) -> np.ndarray:
         rng = payload_seeds.numpy(f"segment:{descriptor.segment_id}")
         rows = rng.integers(
             0, 256, size=(descriptor.size, payload_bytes), dtype=np.uint8

@@ -3,6 +3,11 @@
 Also reachable as ``repro lint ...`` through the main CLI.  Exit status is
 0 when the tree is clean, 1 when findings (strict: or warnings/waiver
 problems) remain, 2 on usage errors.
+
+Beyond the basic scan, the CLI fronts the incremental machinery
+(``--changed``, ``--cache``), the SARIF emitter (``--sarif``) and the
+seeded-violation positive controls (``--self-test``); see
+docs/LINTING.md.
 """
 
 from __future__ import annotations
@@ -12,7 +17,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.lint.cache import (
+    DEFAULT_CACHE_NAME,
+    git_changed_files,
+    run_lint_incremental,
+)
 from repro.lint.runner import run_lint
+from repro.lint.sarif import sarif_json
 
 
 def default_target() -> Path:
@@ -28,8 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description=(
-            "AST-based determinism & protocol-invariant checker "
-            "(rules R1-R5; see docs/LINTING.md)"
+            "AST + call-graph determinism & protocol-invariant checker "
+            "(rules R1-R8; see docs/LINTING.md)"
         ),
     )
     parser.add_argument(
@@ -51,6 +62,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable JSON report to PATH ('-' for stdout)",
     )
     parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a SARIF 2.1.0 log to PATH (GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "run per-module rules only on files git reports as changed "
+            "(project passes still scan the full tree)"
+        ),
+    )
+    parser.add_argument(
+        "--base",
+        default=None,
+        metavar="REF",
+        help="with --changed: also include files differing from git REF",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        nargs="?",
+        const=Path(DEFAULT_CACHE_NAME),
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable the content-hash result cache, stored at PATH "
+            f"(default when enabled: ./{DEFAULT_CACHE_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "positive controls: seed each known violation mutant into a "
+            "package copy and assert its pass detects it"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the text report (exit status only)",
@@ -67,7 +119,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         for path in missing:
             print(f"repro lint: no such path: {path}", file=sys.stderr)
         return 2
-    report = run_lint(paths)
+
+    if args.self_test:
+        from repro.lint.mutants import run_self_test
+
+        package_dir = args.paths[0] if args.paths else None
+        return run_self_test(package_dir, verbose=not args.quiet)
+
+    if args.base is not None and not args.changed:
+        print("repro lint: --base requires --changed", file=sys.stderr)
+        return 2
+
+    changed = None
+    if args.changed:
+        try:
+            changed = git_changed_files(Path.cwd(), base=args.base)
+        except RuntimeError as error:
+            print(f"repro lint: {error}", file=sys.stderr)
+            return 2
+
+    if args.changed or args.cache is not None:
+        report, stats = run_lint_incremental(
+            paths, cache_path=args.cache, changed=changed
+        )
+    else:
+        report = run_lint(paths)
+        stats = None
+
     json_to_stdout = args.json is not None and str(args.json) == "-"
     if args.json is not None:
         if json_to_stdout:
@@ -75,10 +153,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             args.json.parent.mkdir(parents=True, exist_ok=True)
             args.json.write_text(report.to_json(), encoding="utf-8")
+    if args.sarif is not None:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(sarif_json(report), encoding="utf-8")
     if not args.quiet:
         # keep stdout machine-readable when the JSON report goes there
         stream = sys.stderr if json_to_stdout else sys.stdout
         print(report.render_text(), file=stream)
+        if stats is not None and (stats["cached"] or stats["skipped"]):
+            print(
+                f"incremental: {stats['ran']} ran, {stats['cached']} from "
+                f"cache, {stats['skipped']} skipped"
+                + (
+                    ", project passes from cache"
+                    if stats["project_cached"]
+                    else ""
+                ),
+                file=stream,
+            )
     return report.exit_code(strict=args.strict)
 
 

@@ -1,0 +1,174 @@
+"""R8: mutable state crossing the worker fork/pipe boundary.
+
+The sweep runner (PR 4) and chaos engine (PR 5) get crash isolation from
+a process-per-worker pool: each worker is handed a self-contained spec
+over a pipe and rebuilds its world from scratch, which is what makes
+parallel runs byte-identical to serial ones.  That property silently
+dies when state sneaks across the boundary some other way:
+
+- **module-level mutable bindings** (lists, dicts, sets, ``bytearray``,
+  ``deque``/``defaultdict``/``Counter``) are copied into the child at
+  fork on Linux but re-imported fresh under spawn — mutations made
+  before the fork are platform-dependent worker state;
+- **closures passed as process targets** (a ``lambda`` or a nested
+  function handed to ``Process(target=...)``) capture the parent's live
+  objects, don't pickle under spawn, and tie the child to parent state
+  that the journal never records;
+- **``global`` rebinding** inside functions turns module state into a
+  cross-call side channel that fork timing decides the value of.
+
+R8 is scoped to ``runner/`` and ``chaos/`` — the only packages that own
+the boundary.  Immutable module constants (numbers, strings, tuples,
+``frozenset``, compiled regexes) are fine and not flagged; genuinely
+read-only registries built once at import time can carry an inline
+``# lint: ok(R8): <why>`` waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, List, Optional, Set
+
+from repro.lint.framework import (
+    SEVERITY_WARNING,
+    Finding,
+    Rule,
+    SourceModule,
+    path_within,
+)
+
+#: Builtin / stdlib constructors whose results are mutable containers.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.deque",
+        "collections.defaultdict",
+        "collections.Counter",
+        "collections.OrderedDict",
+        "deque",
+        "defaultdict",
+        "Counter",
+        "OrderedDict",
+    }
+)
+
+
+class WorkerBoundaryRule(Rule):
+    """R8: no mutable state across the pool's fork/pipe boundary."""
+
+    id: ClassVar[str] = "R8"
+    name: ClassVar[str] = "worker-boundary"
+    severity: ClassVar[str] = SEVERITY_WARNING
+    hint: ClassVar[str] = (
+        "workers must rebuild state from the pipe-delivered spec; make "
+        "module constants immutable or waive read-only registries"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._function_depth = 0
+        #: names of functions defined inside another function (closures).
+        self._nested_defs: Set[str] = set()
+
+    def applies_to(self, relpath: str) -> bool:
+        return path_within(relpath, "runner", "chaos")
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        self._function_depth = 0
+        self._nested_defs = set()
+        return super().check(module)
+
+    # -- module-level mutables ---------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    self._check_module_binding(target, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._check_module_binding(stmt.target, stmt.value)
+        self.generic_visit(node)
+
+    def _check_module_binding(
+        self, target: ast.expr, value: ast.expr
+    ) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if name.startswith("__") and name.endswith("__"):
+            return  # __all__ and friends are interpreter-facing, not state
+        description = self._mutable_description(value)
+        if description is not None:
+            self.flag(
+                value,
+                f"module-level binding {name!r} is a mutable {description}; "
+                "it crosses the worker fork boundary as shared state",
+            )
+
+    def _mutable_description(self, value: ast.expr) -> Optional[str]:
+        if isinstance(value, ast.List):
+            return "list display"
+        if isinstance(value, ast.Dict):
+            return "dict display"
+        if isinstance(value, ast.Set):
+            return "set display"
+        if isinstance(value, ast.ListComp):
+            return "list comprehension"
+        if isinstance(value, ast.DictComp):
+            return "dict comprehension"
+        if isinstance(value, ast.SetComp):
+            return "set comprehension"
+        if isinstance(value, ast.Call):
+            assert self.module is not None
+            resolved = self.module.resolve_call_target(value.func)
+            if resolved is None and isinstance(value.func, ast.Name):
+                resolved = value.func.id
+            if resolved in MUTABLE_CONSTRUCTORS:
+                return f"{resolved}() container"
+        return None
+
+    # -- closures over the process boundary --------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        if self._function_depth > 0:
+            self._nested_defs.add(getattr(node, "name"))
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.flag(
+            node,
+            "global rebinding of "
+            + ", ".join(repr(n) for n in node.names)
+            + " makes module state a cross-fork side channel",
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                self._check_target(keyword.value)
+        self.generic_visit(node)
+
+    def _check_target(self, value: ast.expr) -> None:
+        if isinstance(value, ast.Lambda):
+            self.flag(
+                value,
+                "lambda passed as a process target captures parent state "
+                "across the fork/pipe boundary",
+            )
+        elif isinstance(value, ast.Name) and value.id in self._nested_defs:
+            self.flag(
+                value,
+                f"nested function {value.id!r} passed as a process target "
+                "closes over parent state across the fork/pipe boundary",
+            )

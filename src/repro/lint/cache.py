@@ -1,0 +1,306 @@
+"""Incremental linting: content-addressed cache and git-scoped runs.
+
+A full lint run re-parses and re-checks every file; on a tree this size
+that is fast but not free, and pre-commit hooks want *instant*.  Two
+accelerators compose here:
+
+- **Result cache** (``--cache``, on by default): per-file findings keyed
+  by content hash, plus the whole-tree results of the project passes
+  keyed by a tree fingerprint.  A file whose content hash matches the
+  cache contributes its stored findings without its rules re-running;
+  when every file matches, even the interprocedural passes are replayed
+  from the cache.  The cache context embeds :data:`LINT_VERSION`, the
+  active rule ids, and the hash of the trace-registry module (R3's
+  findings in *other* files depend on it), so a rule change or registry
+  edit invalidates everything at once.
+- **Git scoping** (``--changed``): per-module rules run only on files
+  git reports as dirty (plus ``--base REF`` diffs), falling back to the
+  cache for the rest.  The project passes always see the full tree —
+  interprocedural findings can appear in files you didn't touch.
+
+Both are accelerators only: results for files that *ran* are exact, and
+the CI full run (no cache, no scoping) stays authoritative.  Cache
+entries are written only for files whose rules actually ran or whose
+cached entry was reused — a scoped run can never poison the cache with
+"no findings" for a file it skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import Project
+from repro.lint.framework import (
+    LINT_VERSION,
+    Finding,
+    ProjectRule,
+    Rule,
+    SourceModule,
+    path_endswith,
+)
+from repro.lint.runner import (
+    LintReport,
+    _load_modules,
+    _waiver_problems,
+    check_module,
+    default_project_rules,
+    default_rules,
+)
+from repro.lint.rules_trace import TRACE_MODULE_SUFFIX, TraceKindRule
+
+CACHE_VERSION = 1
+
+#: Default cache file, relative to the lint root.
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _context_fingerprint(
+    rules: Sequence[Rule],
+    project_rules: Sequence[ProjectRule],
+    modules: Sequence[SourceModule],
+) -> str:
+    parts: List[str] = [f"lint-version={LINT_VERSION}"]
+    parts.extend(f"rule={rule.id}" for rule in rules)
+    parts.extend(f"project-rule={rule.id}" for rule in project_rules)
+    for module in modules:
+        if path_endswith(module.relpath, TRACE_MODULE_SUFFIX):
+            parts.append(f"trace-registry={_sha(module.source)}")
+    return _sha("\n".join(sorted(parts)))
+
+
+def _tree_fingerprint(shas: Dict[str, str], context: str) -> str:
+    parts = [context] + [f"{rel}={sha}" for rel, sha in sorted(shas.items())]
+    return _sha("\n".join(parts))
+
+
+def load_cache(path: Path) -> Optional[Dict[str, Any]]:
+    """The parsed cache, or None when absent/corrupt/incompatible."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+        return None
+    return data
+
+
+def save_cache(path: Path, data: Dict[str, Any]) -> None:
+    """Atomic write (temp + rename) so interrupted runs never corrupt."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(
+        json.dumps(data, indent=1, sort_keys=True), encoding="utf-8"
+    )
+    os.replace(tmp, path)
+
+
+def git_changed_files(root: Path, base: Optional[str] = None) -> Set[str]:
+    """Paths (relative to *root*) git reports as changed.
+
+    Combines ``git status --porcelain`` (uncommitted work) with
+    ``git diff --name-only <base>`` when *base* is given (committed work
+    on a PR branch).  Raises :class:`RuntimeError` when git is
+    unavailable or *root* is not inside a work tree.
+    """
+
+    def run(args: List[str]) -> str:
+        result = subprocess.run(
+            ["git"] + args,
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(args)} failed: {result.stderr.strip()}"
+            )
+        return result.stdout
+
+    try:
+        toplevel = Path(run(["rev-parse", "--show-toplevel"]).strip())
+    except (OSError, RuntimeError) as error:
+        raise RuntimeError(f"--changed needs a git work tree: {error}")
+
+    repo_relative: Set[str] = set()
+    for line in run(["status", "--porcelain"]).splitlines():
+        if len(line) < 4:
+            continue
+        entry = line[3:]
+        if " -> " in entry:  # rename: old -> new; lint the new path
+            entry = entry.split(" -> ", 1)[1]
+        repo_relative.add(entry.strip().strip('"'))
+    if base is not None:
+        for line in run(["diff", "--name-only", base]).splitlines():
+            if line.strip():
+                repo_relative.add(line.strip())
+
+    changed: Set[str] = set()
+    for entry in repo_relative:
+        absolute = toplevel / entry
+        try:
+            changed.add(
+                os.path.relpath(absolute, root).replace(os.sep, "/")
+            )
+        except ValueError:  # different drive on Windows
+            changed.add(str(absolute).replace(os.sep, "/"))
+    return changed
+
+
+def _findings_json(findings: Sequence[Finding]) -> List[Dict[str, Any]]:
+    return [finding.as_dict() for finding in findings]
+
+
+def _findings_load(items: Any) -> List[Finding]:
+    return [Finding.from_dict(item) for item in items or []]
+
+
+def run_lint_incremental(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rules: Optional[List[Rule]] = None,
+    project_rules: Optional[List[ProjectRule]] = None,
+    cache_path: Optional[Path] = None,
+    changed: Optional[Set[str]] = None,
+) -> Tuple[LintReport, Dict[str, Any]]:
+    """Cache-aware lint run; returns (report, stats).
+
+    Stats: ``{"ran": N, "cached": N, "skipped": N, "project_cached": bool}``.
+    With *cache_path* None and *changed* None this is equivalent to
+    :func:`~repro.lint.runner.run_lint`.
+    """
+    modules, problems = _load_modules(paths, root)
+    active_rules = rules if rules is not None else default_rules(None)
+    active_project = (
+        project_rules if project_rules is not None else default_project_rules()
+    )
+    for rule in active_rules:
+        if isinstance(rule, TraceKindRule):
+            for module in modules:
+                if path_endswith(module.relpath, TRACE_MODULE_SUFFIX):
+                    rule.learn_registry(module)
+                    break
+
+    context = _context_fingerprint(active_rules, active_project, modules)
+    shas = {module.relpath: _sha(module.source) for module in modules}
+    tree_print = _tree_fingerprint(shas, context)
+
+    cache = load_cache(cache_path) if cache_path is not None else None
+    if cache is not None and cache.get("context") != context:
+        cache = None  # rule set / trace registry changed: full re-run
+    cached_files: Dict[str, Any] = (cache or {}).get("files", {})
+
+    report = LintReport(
+        files_scanned=len(modules),
+        rules=list(active_rules) + list(active_project),
+    )
+    report.problems.extend(problems)
+    known_rules = [rule.id for rule in report.rules]
+
+    stats = {"ran": 0, "cached": 0, "skipped": 0, "project_cached": False}
+    new_files: Dict[str, Any] = {}
+    by_relpath = {module.relpath: module for module in modules}
+
+    for module in modules:
+        report.problems.extend(_waiver_problems(module, known_rules))
+        relpath = module.relpath
+        entry = cached_files.get(relpath)
+        if entry is not None and entry.get("sha") == shas[relpath]:
+            report.findings.extend(_findings_load(entry.get("findings")))
+            report.waived.extend(_findings_load(entry.get("waived")))
+            new_files[relpath] = entry
+            stats["cached"] += 1
+            continue
+        if changed is not None and relpath not in changed and cache is None:
+            # scoped run without a cache: skip, and record nothing —
+            # a skipped file must not look "clean" to later runs.
+            stats["skipped"] += 1
+            continue
+        active, waived = check_module(module, active_rules)
+        report.findings.extend(active)
+        report.waived.extend(waived)
+        new_files[relpath] = {
+            "sha": shas[relpath],
+            "findings": _findings_json(active),
+            "waived": _findings_json(waived),
+        }
+        stats["ran"] += 1
+
+    tree_entry = (cache or {}).get("tree", {})
+    if cache is not None and tree_entry.get("fingerprint") == tree_print:
+        stats["project_cached"] = True
+        report.findings.extend(_findings_load(tree_entry.get("findings")))
+        report.waived.extend(_findings_load(tree_entry.get("waived")))
+        report.certified.extend(tree_entry.get("certified", []))
+    else:
+        project = Project(modules)
+        project_active: List[Finding] = []
+        project_waived: List[Finding] = []
+        for project_rule in active_project:
+            for finding in project_rule.check_project(project):
+                owner = by_relpath.get(finding.path)
+                waiver = (
+                    owner.waiver_for(finding.rule, finding.line)
+                    if owner is not None
+                    else None
+                )
+                if waiver is not None:
+                    project_waived.append(
+                        Finding(
+                            rule=finding.rule,
+                            severity=finding.severity,
+                            path=finding.path,
+                            line=finding.line,
+                            col=finding.col,
+                            message=finding.message,
+                            hint=finding.hint,
+                            waived=True,
+                            justification=waiver.justification,
+                        )
+                    )
+                else:
+                    project_active.append(finding)
+            report.certified.extend(project_rule.certified())
+        report.findings.extend(project_active)
+        report.waived.extend(project_waived)
+        tree_entry = {
+            "fingerprint": tree_print,
+            "findings": _findings_json(project_active),
+            "waived": _findings_json(project_waived),
+            "certified": list(report.certified),
+        }
+
+    if cache_path is not None and changed is None:
+        # Only unscoped runs write the cache: a scoped run has not seen
+        # every file, so its file table is not a faithful snapshot.
+        save_cache(
+            cache_path,
+            {
+                "version": CACHE_VERSION,
+                "context": context,
+                "files": new_files,
+                "tree": tree_entry,
+            },
+        )
+    elif cache_path is not None and cache is not None:
+        # Scoped run over a valid cache: refresh entries that ran.
+        merged = dict(cached_files)
+        merged.update(new_files)
+        save_cache(
+            cache_path,
+            {
+                "version": CACHE_VERSION,
+                "context": context,
+                "files": merged,
+                "tree": tree_entry,
+            },
+        )
+    return report, stats

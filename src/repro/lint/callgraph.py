@@ -1,0 +1,635 @@
+"""Project call graph: module-qualified name resolution over a source tree.
+
+The per-module rules (R1..R5) see one file at a time; the interprocedural
+passes (R6 provenance, R7 neutrality) need to know *who calls whom* across
+the whole scanned tree.  This module builds that graph from the parsed
+:class:`~repro.lint.framework.SourceModule` set — still without importing
+or executing anything.
+
+Resolution handles, in decreasing order of precision:
+
+- module-level functions and classes, by dotted module name derived from
+  the file's relative path (``src/repro/core/gossip.py`` ->
+  ``repro.core.gossip``);
+- aliased imports, both ``import m as alias`` and ``from m import f as g``,
+  plus relative ``from . import x`` forms (resolved against the importing
+  module's package);
+- methods: ``self.m()`` / ``cls.m()`` inside a class body, looked up on the
+  class and then its in-project bases, and ``obj.m()`` where ``obj`` is a
+  parameter annotated with an in-project class or a local assigned from an
+  in-project constructor call;
+- constructor calls ``ClassName(...)``, which resolve to
+  ``ClassName.__init__`` when the class defines one;
+- local aliases (``g = f; g()``);
+- first-class function values: when a known function is passed as an
+  argument to a resolvable callee whose matching parameter is *invoked*
+  inside the callee body, a ``callback`` edge callee -> argument is added.
+
+Everything unresolvable degrades to "no edge" — the passes built on top
+are designed so that missing edges produce missing findings, never false
+ones.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.framework import SourceModule
+
+#: Call-site kinds recorded on edges.
+KIND_DIRECT = "direct"
+KIND_METHOD = "method"
+KIND_CONSTRUCTOR = "constructor"
+KIND_CALLBACK = "callback"
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a posix-ish *relpath*.
+
+    ``src/`` layout prefixes are stripped so a checkout scanned from the
+    repo root and an installed package resolve to the same names
+    (``src/repro/sim/rng.py`` and ``repro/sim/rng.py`` both become
+    ``repro.sim.rng``); ``__init__.py`` maps to its package.
+    """
+    parts = [p for p in relpath.replace("\\", "/").split("/") if p]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the scanned tree."""
+
+    qname: str
+    module: SourceModule
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    #: qualified name of the enclosing class, if this is a method.
+    class_qname: Optional[str] = None
+    #: positional-or-keyword parameter names, ``self``/``cls`` included.
+    params: Tuple[str, ...] = ()
+    #: parameters that are *called* somewhere in the body (``cb()``).
+    invoked_params: FrozenSet[str] = frozenset()
+
+    @property
+    def name(self) -> str:
+        """The bare function name (last qname component)."""
+        return self.qname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods and resolvable bases."""
+
+    qname: str
+    module: SourceModule
+    node: ast.ClassDef
+    #: method name -> function qname.
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: base-class expressions resolved to qualified names (best effort).
+    bases: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        """The bare class name."""
+        return self.qname.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, anchored at its AST node."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+    kind: str = KIND_DIRECT
+    #: (position or keyword, function qname) for arguments that are
+    #: themselves known functions — the raw material of callback edges.
+    passed_functions: Tuple[Tuple[str, str], ...] = ()
+
+
+class _DefCollector(ast.NodeVisitor):
+    """First pass: collect function/class definitions with qnames."""
+
+    def __init__(self, graph: "CallGraph", module: SourceModule) -> None:
+        self.graph = graph
+        self.module = module
+        self.scope: List[str] = [module_name_for(module.relpath)]
+        self.class_stack: List[ClassInfo] = []
+
+    def _qname(self, name: str) -> str:
+        return ".".join(self.scope + [name])
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qname = self._qname(node.name)
+        bases = []
+        for base in node.bases:
+            resolved = self._resolve_base(base)
+            if resolved is not None:
+                bases.append(resolved)
+        info = ClassInfo(
+            qname=qname, module=self.module, node=node, bases=tuple(bases)
+        )
+        self.graph.classes[qname] = info
+        self.graph.classes_by_name.setdefault(node.name, []).append(info)
+        self.scope.append(node.name)
+        self.class_stack.append(info)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.scope.pop()
+
+    def _resolve_base(self, base: ast.expr) -> Optional[str]:
+        if isinstance(base, ast.Name):
+            target = self.module.resolve_call_target(base)
+            if target is not None:
+                return target
+            return ".".join(self.scope[:1] + [base.id])
+        if isinstance(base, ast.Attribute):
+            return self.module.resolve_call_target(base)
+        return None
+
+    def _visit_def(self, node: ast.AST, name: str) -> None:
+        qname = self._qname(name)
+        args = getattr(node, "args")
+        params = tuple(
+            a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)
+        )
+        info = FunctionInfo(
+            qname=qname,
+            module=self.module,
+            node=node,
+            class_qname=self.class_stack[-1].qname if self.class_stack else None,
+            params=params,
+            invoked_params=_invoked_params(node, params),
+        )
+        self.graph.functions[qname] = info
+        if self.class_stack:
+            self.class_stack[-1].methods[name] = qname
+        self.scope.append(name)
+        # Do not treat nested defs as methods of an enclosing class.
+        saved = self.class_stack
+        self.class_stack = []
+        self.generic_visit(node)
+        self.class_stack = saved
+        self.scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_def(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_def(node, node.name)
+
+
+def _invoked_params(func: ast.AST, params: Tuple[str, ...]) -> FrozenSet[str]:
+    """Parameters called as functions anywhere in *func*'s body."""
+    names = set(params)
+    invoked: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in names:
+                invoked.add(node.func.id)
+    return frozenset(invoked)
+
+
+class CallGraph:
+    """Callable definitions plus resolved call edges for one source tree."""
+
+    def __init__(self) -> None:
+        #: function qname -> info.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class qname -> info.
+        self.classes: Dict[str, ClassInfo] = {}
+        #: bare class name -> every class of that name (for suffix lookups).
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        #: caller qname -> call sites (module-level code uses the module name).
+        self.calls_from: Dict[str, List[CallSite]] = {}
+        #: callee qname -> call sites.
+        self.calls_to: Dict[str, List[CallSite]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: Sequence[SourceModule]) -> "CallGraph":
+        """Build the graph over *modules* (deterministic order)."""
+        graph = cls()
+        ordered = sorted(modules, key=lambda m: m.relpath)
+        for module in ordered:
+            _DefCollector(graph, module).visit(module.tree)
+        for module in ordered:
+            _EdgeCollector(graph, module).collect()
+        graph._add_callback_edges()
+        return graph
+
+    def _add_edge(self, site: CallSite) -> None:
+        self.calls_from.setdefault(site.caller, []).append(site)
+        self.calls_to.setdefault(site.callee, []).append(site)
+
+    def _add_callback_edges(self) -> None:
+        """callee -> passed-function edges for invoked parameters."""
+        for sites in list(self.calls_from.values()):
+            for site in sites:
+                callee = self.functions.get(site.callee)
+                if callee is None or not site.passed_functions:
+                    continue
+                for slot, fn_qname in site.passed_functions:
+                    param = self._param_for_slot(callee, slot)
+                    if param is not None and param in callee.invoked_params:
+                        self._add_edge(
+                            CallSite(
+                                caller=callee.qname,
+                                callee=fn_qname,
+                                node=site.node,
+                                kind=KIND_CALLBACK,
+                            )
+                        )
+
+    @staticmethod
+    def _param_for_slot(callee: FunctionInfo, slot: str) -> Optional[str]:
+        if slot.isdigit():
+            index = int(slot)
+            params = callee.params
+            if params and params[0] in ("self", "cls"):
+                # Direct Name calls never bind self; constructor calls are
+                # handled with the +1 shift at edge-collection time.
+                params = params[1:]
+            if index < len(params):
+                return params[index]
+            return None
+        return slot if slot in callee.params else None
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, qname: str) -> List[CallSite]:
+        """Call sites whose caller is *qname*."""
+        return self.calls_from.get(qname, [])
+
+    def callers(self, qname: str) -> List[CallSite]:
+        """Call sites that target *qname*."""
+        return self.calls_to.get(qname, [])
+
+    def method(self, class_qname: str, name: str) -> Optional[str]:
+        """Resolve method *name* on the class or its in-project bases."""
+        seen: Set[str] = set()
+        stack = [class_qname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                # Suffix match: bases recorded as bare/dotted external names
+                # may still be classes we scanned.
+                tail = current.rsplit(".", 1)[-1]
+                for candidate in self.classes_by_name.get(tail, []):
+                    if candidate.qname not in seen:
+                        stack.append(candidate.qname)
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            stack.extend(info.bases)
+        return None
+
+    def class_named(self, name: str) -> Optional[ClassInfo]:
+        """The unique scanned class with bare name *name*, if unambiguous."""
+        candidates = self.classes_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+class _EdgeCollector:
+    """Second pass: resolve every call expression in one module."""
+
+    def __init__(self, graph: CallGraph, module: SourceModule) -> None:
+        self.graph = graph
+        self.module = module
+        self.module_qname = module_name_for(module.relpath)
+        #: module-scope name -> qname (defs, classes, imports, aliases).
+        self.module_scope: Dict[str, str] = {}
+        self._collect_module_scope()
+
+    def _collect_module_scope(self) -> None:
+        prefix = self.module_qname + "." if self.module_qname else ""
+        for node in self.module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_scope[node.name] = prefix + node.name
+            elif isinstance(node, ast.ClassDef):
+                self.module_scope[node.name] = prefix + node.name
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Name
+            ):
+                # module-level alias: g = f
+                source = node.value.id
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and source in self.module_scope:
+                        self.module_scope[target.id] = self.module_scope[source]
+        for alias, target in self.module.imports.items():
+            self.module_scope.setdefault(alias, target)
+        for alias, (mod, attr) in self.module.from_imports.items():
+            self.module_scope.setdefault(alias, f"{mod}.{attr}")
+        # Relative imports (skipped by SourceModule): resolve against the
+        # importing module's package so fixture trees can use them too.
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level:
+                base_parts = self.module_qname.split(".") if self.module_qname else []
+                # level 1 = current package; each extra level pops one more.
+                # For a package __init__ the qname already IS the package.
+                is_package = self.module.relpath.replace("\\", "/").endswith(
+                    "/__init__.py"
+                ) or self.module.relpath == "__init__.py"
+                keep = len(base_parts) - node.level + (1 if is_package else 0)
+                if keep < 0:
+                    continue
+                base = ".".join(base_parts[:keep])
+                mod = f"{base}.{node.module}" if node.module and base else (
+                    node.module or base
+                )
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.module_scope.setdefault(
+                        alias.asname or alias.name, f"{mod}.{alias.name}"
+                    )
+
+    # -- resolution --------------------------------------------------------
+
+    def collect(self) -> None:
+        self._walk_scope(
+            self.module.tree.body,
+            caller=self.module_qname or self.module.relpath,
+            func=None,
+        )
+
+    def _walk_scope(
+        self,
+        body: Sequence[ast.stmt],
+        caller: str,
+        func: Optional[FunctionInfo],
+    ) -> None:
+        local_types = _LocalContext(self, func)
+        for stmt in body:
+            local_types.scan_statement(stmt)
+        for stmt in body:
+            self._walk_statement(stmt, caller, func, local_types)
+
+    def _walk_statement(
+        self,
+        stmt: ast.stmt,
+        caller: str,
+        func: Optional[FunctionInfo],
+        context: "_LocalContext",
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qname = self._lookup_def(stmt, caller)
+            info = self.graph.functions.get(qname) if qname else None
+            if info is not None:
+                self._walk_scope(stmt.body, caller=qname or caller, func=info)
+            # default values evaluate in the enclosing scope
+            for default in list(stmt.args.defaults) + [
+                d for d in stmt.args.kw_defaults if d is not None
+            ]:
+                self._visit_expr_calls(default, caller, func, context)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            class_qname = self._lookup_def(stmt, caller)
+            for sub in stmt.body:
+                self._walk_statement(
+                    sub, caller=class_qname or caller, func=None, context=context
+                )
+            return
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._record_call(node, caller, func, context)
+
+    def _lookup_def(self, stmt: ast.stmt, caller: str) -> str:
+        name = getattr(stmt, "name", "")
+        qname = f"{caller}.{name}"
+        if qname in self.graph.functions or qname in self.graph.classes:
+            return qname
+        return qname
+
+    def _visit_expr_calls(
+        self,
+        expr: ast.expr,
+        caller: str,
+        func: Optional[FunctionInfo],
+        context: "_LocalContext",
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._record_call(node, caller, func, context)
+
+    def _record_call(
+        self,
+        node: ast.Call,
+        caller: str,
+        func: Optional[FunctionInfo],
+        context: "_LocalContext",
+    ) -> None:
+        resolved = self.resolve_callable(node.func, func, context)
+        if resolved is None:
+            return
+        callee, kind = resolved
+        shift = 1 if kind == KIND_CONSTRUCTOR else 0
+        passed: List[Tuple[str, str]] = []
+        for index, arg in enumerate(node.args):
+            fn = self._as_function(arg, func, context)
+            if fn is not None:
+                passed.append((str(index + shift), fn))
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            fn = self._as_function(keyword.value, func, context)
+            if fn is not None:
+                passed.append((keyword.arg, fn))
+        self.graph._add_edge(
+            CallSite(
+                caller=caller,
+                callee=callee,
+                node=node,
+                kind=kind,
+                passed_functions=tuple(passed),
+            )
+        )
+
+    def _as_function(
+        self,
+        expr: ast.expr,
+        func: Optional[FunctionInfo],
+        context: "_LocalContext",
+    ) -> Optional[str]:
+        """The function qname *expr* refers to (not calls), if known."""
+        if isinstance(expr, ast.Name):
+            qname = context.alias(expr.id) or self.module_scope.get(expr.id)
+            if qname in self.graph.functions:
+                return qname
+        if isinstance(expr, ast.Attribute) and isinstance(
+            expr.value, ast.Name
+        ):
+            if expr.value.id in ("self", "cls") and func is not None:
+                if func.class_qname is not None:
+                    return self.graph.method(func.class_qname, expr.attr)
+            target = self.module.resolve_call_target(expr)
+            if target in self.graph.functions:
+                return target
+        return None
+
+    def resolve_callable(
+        self,
+        expr: ast.expr,
+        func: Optional[FunctionInfo],
+        context: "_LocalContext",
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a call target expression to (qname, kind)."""
+        if isinstance(expr, ast.Name):
+            qname = context.alias(expr.id) or self.module_scope.get(expr.id)
+            if qname is None:
+                return None
+            if qname in self.graph.classes:
+                init = self.graph.method(qname, "__init__")
+                return (init or qname, KIND_CONSTRUCTOR)
+            if qname in self.graph.functions:
+                return (qname, KIND_DIRECT)
+            # imported but not scanned (external): still a stable name.
+            return (qname, KIND_DIRECT)
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name):
+                if base.id in ("self", "cls") and func is not None:
+                    if func.class_qname is not None:
+                        method = self.graph.method(func.class_qname, expr.attr)
+                        if method is not None:
+                            return (method, KIND_METHOD)
+                    return None
+                class_qname = context.type_of(base.id)
+                if class_qname is not None:
+                    method = self.graph.method(class_qname, expr.attr)
+                    if method is not None:
+                        return (method, KIND_METHOD)
+                    return None
+            target = self.module.resolve_call_target(expr)
+            if target is not None:
+                if target in self.graph.classes:
+                    init = self.graph.method(target, "__init__")
+                    return (init or target, KIND_CONSTRUCTOR)
+                return (target, KIND_DIRECT)
+        return None
+
+
+class _LocalContext:
+    """Per-scope alias and instance-type tables (light inference)."""
+
+    def __init__(
+        self, collector: _EdgeCollector, func: Optional[FunctionInfo]
+    ) -> None:
+        self.collector = collector
+        self.func = func
+        #: local name -> function qname (g = f).
+        self._aliases: Dict[str, str] = {}
+        #: local name -> class qname (x = ClassName(...), or annotation).
+        self._types: Dict[str, str] = {}
+        if func is not None:
+            self._seed_param_types(func)
+
+    def _seed_param_types(self, func: FunctionInfo) -> None:
+        args = getattr(func.node, "args")
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            class_qname = self._annotation_class(arg.annotation)
+            if class_qname is not None:
+                self._types[arg.arg] = class_qname
+
+    def _annotation_class(
+        self, annotation: Optional[ast.expr]
+    ) -> Optional[str]:
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            name = annotation.value.strip()
+            try:
+                annotation = ast.parse(name, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.Name):
+            qname = self.collector.module_scope.get(annotation.id)
+            if qname in self.collector.graph.classes:
+                return qname
+            info = self.collector.graph.class_named(annotation.id)
+            return info.qname if info else None
+        if isinstance(annotation, ast.Subscript):
+            # Optional[X] / "X | None" style: use the inner name.
+            inner = annotation.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return self._annotation_class(
+                inner if isinstance(inner, ast.expr) else None
+            )
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            return self._annotation_class(
+                annotation.left
+            ) or self._annotation_class(annotation.right)
+        return None
+
+    def scan_statement(self, stmt: ast.stmt) -> None:
+        """Record aliases / instance types bound by *stmt* (pre-pass)."""
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                return
+            value = stmt.value
+            if isinstance(value, ast.Name):
+                qname = self.collector.module_scope.get(value.id)
+                if qname in self.collector.graph.functions:
+                    self._aliases[target.id] = qname
+            elif isinstance(value, ast.Call):
+                resolved = self.collector.resolve_callable(
+                    value.func, self.func, self
+                )
+                if resolved is not None and resolved[1] == KIND_CONSTRUCTOR:
+                    class_qname = resolved[0]
+                    if class_qname.endswith(".__init__"):
+                        class_qname = class_qname[: -len(".__init__")]
+                    self._types[target.id] = class_qname
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            class_qname = self._annotation_class(stmt.annotation)
+            if class_qname is not None:
+                self._types[stmt.target.id] = class_qname
+
+    def alias(self, name: str) -> Optional[str]:
+        """Function qname locally aliased to *name*, if any."""
+        return self._aliases.get(name)
+
+    def type_of(self, name: str) -> Optional[str]:
+        """Class qname of local *name*, if inferred."""
+        return self._types.get(name)
+
+
+@dataclass
+class Project:
+    """The whole-tree view interprocedural passes run against."""
+
+    modules: List[SourceModule]
+    _graph: Optional[CallGraph] = None
+
+    @property
+    def by_relpath(self) -> Dict[str, SourceModule]:
+        return {m.relpath: m for m in self.modules}
+
+    @property
+    def graph(self) -> CallGraph:
+        """The call graph, built on first use and cached."""
+        if self._graph is None:
+            self._graph = CallGraph.build(self.modules)
+        return self._graph

@@ -1,0 +1,550 @@
+"""R6: interprocedural RNG provenance (taint) analysis.
+
+R1 flags a literal ``np.random.default_rng(...)`` at its construction
+site; R6 follows the *value*.  Every RNG-like value in the scanned tree
+is classified on a small lattice::
+
+    UNTRACKED < REGISTRY < BLESSED < TAINTED
+
+- ``REGISTRY``: a :class:`SeedSequenceRegistry` (constructed, spawned,
+  or received through a ``seeds``/``registry`` parameter or attribute);
+- ``BLESSED``: an RNG with airtight provenance — the result of
+  ``registry.python(name)`` / ``registry.numpy(name)``, or a value
+  received through an explicit ``rng``-named parameter;
+- ``TAINTED``: an RNG whose seed chain is broken — constructed from
+  ``random.Random`` / ``numpy.random.default_rng`` and friends anywhere
+  outside the ``SeedSequenceRegistry`` implementation itself, no matter
+  how many helpers, attributes, returns, or callbacks it travels
+  through.
+
+Taint propagates through local assignments, ``self.attr`` writes (class
+attribute summaries), return values (per-function summaries), call-site
+argument-to-parameter binding over the project call graph, and functions
+passed as callbacks to parameters the callee invokes.  Summaries are
+joined to a fixed point, then one reporting pass emits findings at:
+
+- any method call drawn on a TAINTED receiver (the unseeded draw);
+- any TAINTED value passed to an ``rng``-named parameter (the
+  laundering site that turns an unseeded RNG into an apparently blessed
+  one);
+- TAINTED default parameter values and module-level TAINTED bindings
+  (ambient RNGs shared across calls / processes).
+
+``UNTRACKED`` is silent by construction: a value the analysis cannot
+prove tainted never produces a finding, so missing call-graph edges
+degrade to missing findings, never false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import (
+    KIND_CONSTRUCTOR,
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    Project,
+    module_name_for,
+)
+from repro.lint.framework import (
+    SEVERITY_ERROR,
+    Finding,
+    ProjectRule,
+    SourceModule,
+)
+
+# -- the lattice -----------------------------------------------------------
+
+UNTRACKED = 0
+REGISTRY = 1
+BLESSED = 2
+TAINTED = 3
+
+#: Raw RNG constructors whose results are TAINTED outside the registry.
+TAINTED_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "numpy.random.Philox",
+        "numpy.random.PCG64",
+        "numpy.random.MT19937",
+        "numpy.random.SeedSequence",
+    }
+)
+
+#: The blessing implementation — raw constructions inside this class are
+#: the legitimate origin of every seeded stream.
+REGISTRY_CLASS = "SeedSequenceRegistry"
+
+#: Registry-typed parameter / attribute names.
+REGISTRY_NAMES = frozenset({"seeds", "_seeds", "registry", "_registry"})
+
+#: Methods on a registry that mint blessed RNGs.
+BLESSING_METHODS = frozenset({"python", "numpy"})
+
+
+def _is_rng_param(name: str) -> bool:
+    """``rng`` and ``*_rng`` parameters carry the explicit-rng contract."""
+    return name == "rng" or name.endswith("_rng")
+
+
+def _annotation_text(annotation: Optional[ast.expr]) -> str:
+    if annotation is None:
+        return ""
+    try:
+        return ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse is total on valid ASTs
+        return ""
+
+
+def _param_seed_taint(arg: ast.arg) -> int:
+    """Initial taint a parameter carries from its name/annotation alone."""
+    text = _annotation_text(arg.annotation)
+    if arg.arg in REGISTRY_NAMES or REGISTRY_CLASS in text:
+        return REGISTRY
+    if _is_rng_param(arg.arg) or "Random" in text or "Generator" in text:
+        return BLESSED
+    return UNTRACKED
+
+
+class _TaintAnalysis:
+    """One fixed-point run over a project; findings on the final pass."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.graph: CallGraph = project.graph
+        #: (function qname, param name) -> joined incoming taint.
+        self.param: Dict[Tuple[str, str], int] = {}
+        #: function qname -> joined return taint.
+        self.ret: Dict[str, int] = {}
+        #: (class qname, attr name) -> joined attribute taint.
+        self.attr: Dict[Tuple[str, str], int] = {}
+        #: (module qname, name) -> module-level binding taint.
+        self.modvar: Dict[Tuple[str, str], int] = {}
+        #: (callee qname, param) -> function qnames bound as callbacks.
+        self.callbacks: Dict[Tuple[str, str], Set[str]] = {}
+        #: Call node id -> resolved call site.
+        self.site_by_node: Dict[int, CallSite] = {}
+        self.reporting = False
+        self._findings: Dict[Tuple[str, int, int, str], Finding] = {}
+        self._changed = False
+        self._index_sites()
+
+    def _index_sites(self) -> None:
+        for sites in self.graph.calls_from.values():
+            for site in sites:
+                self.site_by_node[id(site.node)] = site
+                callee = self.graph.functions.get(site.callee)
+                if callee is None:
+                    continue
+                for slot, fn_qname in site.passed_functions:
+                    param = CallGraph._param_for_slot(callee, slot)
+                    if param is not None and param in callee.invoked_params:
+                        self.callbacks.setdefault(
+                            (callee.qname, param), set()
+                        ).add(fn_qname)
+
+    # -- joins -------------------------------------------------------------
+
+    def _join(self, table: Dict[Any, int], key: Any, taint: int) -> None:
+        old = table.get(key, UNTRACKED)
+        new = max(old, taint)
+        if new != old:
+            table[key] = new
+            self._changed = True
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        ordered = sorted(self.graph.functions)
+        modules = sorted(self.project.modules, key=lambda m: m.relpath)
+        for _ in range(10):
+            self._changed = False
+            for module in modules:
+                self._analyze_module(module)
+            for qname in ordered:
+                self._analyze_function(self.graph.functions[qname])
+            if not self._changed:
+                break
+        self.reporting = True
+        for module in modules:
+            self._analyze_module(module)
+        for qname in ordered:
+            self._analyze_function(self.graph.functions[qname])
+        return sorted(
+            self._findings.values(), key=lambda f: (f.path, f.line, f.col)
+        )
+
+    # -- per-scope analysis ------------------------------------------------
+
+    def _analyze_module(self, module: SourceModule) -> None:
+        qname = module_name_for(module.relpath)
+        env: Dict[str, int] = {}
+        scope = _Scope(self, module, qname, None, env)
+        for stmt in module.tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # analyzed via their FunctionInfo entries
+            scope.walk_statement(stmt)
+        for name, taint in env.items():
+            self._join(self.modvar, (qname, name), taint)
+
+    def _analyze_function(self, fn: FunctionInfo) -> None:
+        args = getattr(fn.node, "args")
+        env: Dict[str, int] = {}
+        module_qname = module_name_for(fn.module.relpath)
+        scope = _Scope(self, fn.module, module_qname, fn, env)
+        all_args = list(args.posonlyargs) + list(args.args) + list(
+            args.kwonlyargs
+        )
+        for arg in all_args:
+            env[arg.arg] = max(
+                _param_seed_taint(arg),
+                self.param.get((fn.qname, arg.arg), UNTRACKED),
+            )
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            taint = scope.taint_of(default)
+            if taint >= TAINTED:
+                self.flag(
+                    fn.module,
+                    default,
+                    "default parameter value is an unseeded RNG shared "
+                    "across all calls",
+                )
+        for stmt in getattr(fn.node, "body"):
+            scope.walk_statement(stmt)
+
+    # -- findings ----------------------------------------------------------
+
+    def flag(self, module: SourceModule, node: ast.AST, message: str) -> None:
+        if not self.reporting:
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        key = (module.relpath, line, col, message)
+        if key in self._findings:
+            return
+        self._findings[key] = Finding(
+            rule=RngProvenanceRule.id,
+            severity=RngProvenanceRule.severity,
+            path=module.relpath,
+            line=line,
+            col=col,
+            message=message,
+            hint=RngProvenanceRule.hint,
+        )
+
+
+class _Scope:
+    """Evaluator for one function body (or one module's top level)."""
+
+    def __init__(
+        self,
+        analysis: _TaintAnalysis,
+        module: SourceModule,
+        module_qname: str,
+        fn: Optional[FunctionInfo],
+        env: Dict[str, int],
+    ) -> None:
+        self.analysis = analysis
+        self.module = module
+        self.module_qname = module_qname
+        self.fn = fn
+        self.env = env
+
+    # -- statements --------------------------------------------------------
+
+    def walk_statement(self, stmt: ast.stmt) -> None:
+        a = self.analysis
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are separate FunctionInfo entries
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, ast.Assign):
+            taint = self.taint_of(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, taint, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taint = self.taint_of(stmt.value)
+                self._bind_target(stmt.target, taint, stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self.taint_of(stmt.value)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None and self.fn is not None:
+                a._join(a.ret, self.fn.qname, self.taint_of(stmt.value))
+            elif stmt.value is not None:
+                self.taint_of(stmt.value)
+            return
+        if isinstance(stmt, ast.Expr):
+            self.taint_of(stmt.value)
+            return
+        if isinstance(stmt, ast.If):
+            self.taint_of(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self.walk_statement(sub)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.taint_of(stmt.iter)
+            for sub in stmt.body + stmt.orelse:
+                self.walk_statement(sub)
+            return
+        if isinstance(stmt, ast.While):
+            self.taint_of(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self.walk_statement(sub)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.taint_of(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(
+                        item.optional_vars, taint, item.context_expr
+                    )
+            for sub in stmt.body:
+                self.walk_statement(sub)
+            return
+        if isinstance(stmt, ast.Try):
+            for sub in stmt.body + stmt.orelse + stmt.finalbody:
+                self.walk_statement(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self.walk_statement(sub)
+            return
+        if isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self.taint_of(node)
+            return
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing flows.
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self.taint_of(node)
+
+    def _bind_target(
+        self, target: ast.expr, taint: int, value: ast.expr
+    ) -> None:
+        a = self.analysis
+        if isinstance(target, ast.Name):
+            if self.fn is None:
+                # module level: TAINTED globals are ambient state.
+                if taint >= TAINTED:
+                    a.flag(
+                        self.module,
+                        value,
+                        f"module-level binding {target.id!r} holds an "
+                        "unseeded RNG",
+                    )
+                a._join(a.modvar, (self.module_qname, target.id), taint)
+            else:
+                self.env[target.id] = taint
+        elif isinstance(target, ast.Attribute):
+            base = target.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in ("self", "cls")
+                and self.fn is not None
+                and self.fn.class_qname is not None
+            ):
+                a._join(a.attr, (self.fn.class_qname, target.attr), taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                # Taint of an unpacked element is unknown; stay silent.
+                self._bind_target(element, UNTRACKED, value)
+
+    # -- expressions -------------------------------------------------------
+
+    def taint_of(self, expr: ast.expr) -> int:
+        a = self.analysis
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return self.env[expr.id]
+            return a.modvar.get((self.module_qname, expr.id), UNTRACKED)
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                if self.fn is not None and self.fn.class_qname is not None:
+                    summary = a.attr.get(
+                        (self.fn.class_qname, expr.attr), None
+                    )
+                    if summary is not None:
+                        return summary
+                if expr.attr in REGISTRY_NAMES:
+                    return REGISTRY
+                if _is_rng_param(expr.attr):
+                    return BLESSED
+            return UNTRACKED
+        if isinstance(expr, ast.Call):
+            return self._taint_of_call(expr)
+        if isinstance(expr, ast.IfExp):
+            self.taint_of(expr.test)
+            return max(self.taint_of(expr.body), self.taint_of(expr.orelse))
+        if isinstance(expr, ast.BoolOp):
+            return max(self.taint_of(v) for v in expr.values)
+        if isinstance(expr, ast.NamedExpr):
+            taint = self.taint_of(expr.value)
+            if isinstance(expr.target, ast.Name) and self.fn is not None:
+                self.env[expr.target.id] = taint
+            return taint
+        # Containers / arithmetic: evaluate nested calls, result untracked.
+        for node in ast.iter_child_nodes(expr):
+            if isinstance(node, ast.expr):
+                self.taint_of(node)
+        return UNTRACKED
+
+    def _taint_of_call(self, call: ast.Call) -> int:
+        a = self.analysis
+        for arg in call.args:
+            if isinstance(arg, ast.Starred):
+                self.taint_of(arg.value)
+        # 1. Raw RNG constructors (TAINTED origin).
+        target = self.module.resolve_call_target(call.func)
+        in_registry = (
+            self.fn is not None
+            and self.fn.class_qname is not None
+            and self.fn.class_qname.rsplit(".", 1)[-1] == REGISTRY_CLASS
+        )
+        if target in TAINTED_CONSTRUCTORS and not in_registry:
+            self._evaluate_args(call)
+            return TAINTED
+        # 2. Registry constructor (REGISTRY origin).
+        if target is not None and target.rsplit(".", 1)[-1] == REGISTRY_CLASS:
+            self._evaluate_args(call)
+            self._bind_call_site(call)
+            return REGISTRY
+        if (
+            isinstance(call.func, ast.Name)
+            and call.func.id == REGISTRY_CLASS
+        ):
+            self._evaluate_args(call)
+            self._bind_call_site(call)
+            return REGISTRY
+        # 3. Method call on a taint-carrying receiver.
+        if isinstance(call.func, ast.Attribute):
+            receiver = self.taint_of(call.func.value)
+            method = call.func.attr
+            if receiver == TAINTED:
+                a.flag(
+                    self.module,
+                    call,
+                    f"draw {method!r} on an RNG with unseeded provenance",
+                )
+                self._evaluate_args(call)
+                return TAINTED if method == "spawn" else UNTRACKED
+            if receiver == REGISTRY:
+                self._evaluate_args(call)
+                if method in BLESSING_METHODS:
+                    return BLESSED
+                if method == "spawn":
+                    return REGISTRY
+                return UNTRACKED
+            if receiver == BLESSED and method == "spawn":
+                self._evaluate_args(call)
+                return BLESSED
+        # 4. Invoked callback parameter: result joins bound functions.
+        if (
+            isinstance(call.func, ast.Name)
+            and self.fn is not None
+            and call.func.id in self.fn.invoked_params
+        ):
+            bound = a.callbacks.get((self.fn.qname, call.func.id), set())
+            self._evaluate_args(call)
+            result = UNTRACKED
+            for fn_qname in bound:
+                result = max(result, a.ret.get(fn_qname, UNTRACKED))
+            return result
+        # 5. Resolved project call: bind args, use the return summary.
+        site = self._bind_call_site(call)
+        self._evaluate_args(call, bound=site is not None)
+        if site is not None:
+            callee = a.graph.functions.get(site.callee)
+            if callee is not None:
+                if site.kind == KIND_CONSTRUCTOR:
+                    return UNTRACKED  # instance state lives in attr summaries
+                return a.ret.get(callee.qname, UNTRACKED)
+        return UNTRACKED
+
+    def _evaluate_args(self, call: ast.Call, bound: bool = False) -> None:
+        """Taint-evaluate arguments (for side effects on nested calls)."""
+        if bound:
+            return  # _bind_call_site already evaluated them
+        for arg in call.args:
+            value = arg.value if isinstance(arg, ast.Starred) else arg
+            self.taint_of(value)
+        for keyword in call.keywords:
+            self.taint_of(keyword.value)
+
+    def _bind_call_site(self, call: ast.Call) -> Optional[CallSite]:
+        """Join argument taints into the callee's parameter summaries."""
+        a = self.analysis
+        site = a.site_by_node.get(id(call))
+        if site is None:
+            return None
+        callee = a.graph.functions.get(site.callee)
+        if callee is None:
+            return None
+        shift = 1 if site.kind == KIND_CONSTRUCTOR else 0
+        params = list(callee.params)
+        if shift and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        elif not shift and site.kind == "method" and params:
+            if params[0] in ("self", "cls"):
+                params = params[1:]
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                self.taint_of(arg.value)
+                continue
+            taint = self.taint_of(arg)
+            if index < len(params):
+                self._bind_param(callee, params[index], taint, arg)
+        for keyword in call.keywords:
+            taint = self.taint_of(keyword.value)
+            if keyword.arg is not None and keyword.arg in callee.params:
+                self._bind_param(callee, keyword.arg, taint, keyword.value)
+        return site
+
+    def _bind_param(
+        self,
+        callee: FunctionInfo,
+        param: str,
+        taint: int,
+        node: ast.expr,
+    ) -> None:
+        a = self.analysis
+        if taint >= TAINTED and _is_rng_param(param):
+            a.flag(
+                self.module,
+                node,
+                f"unseeded RNG passed to parameter {param!r} of "
+                f"{callee.qname} — provenance does not reach a "
+                f"{REGISTRY_CLASS} substream",
+            )
+        a._join(a.param, (callee.qname, param), taint)
+
+
+class RngProvenanceRule(ProjectRule):
+    """R6: RNG values must trace back to the seed registry."""
+
+    id = "R6"
+    name = "rng-provenance"
+    severity = SEVERITY_ERROR
+    hint = (
+        "derive RNGs from SeedSequenceRegistry substreams "
+        "(seeds.python(name)/seeds.numpy(name)) or thread them through "
+        "an explicit rng parameter"
+    )
+
+    def check_project(self, project: Project) -> List[Finding]:
+        return _TaintAnalysis(project).run()

@@ -24,6 +24,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, ClassVar, Dict, List, Optional, Tuple
 
+#: Bumped whenever rule semantics change; invalidates the on-disk cache.
+LINT_VERSION = 2
+
 #: Matches one waiver comment; justification (group "why") may be absent.
 WAIVER_RE = re.compile(
     r"#\s*lint:\s*ok\(\s*(?P<rule>[A-Za-z0-9_\-]+)\s*\)"
@@ -68,6 +71,21 @@ class Finding:
             out["waived"] = True
             out["justification"] = self.justification
         return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`as_dict` (used by the lint cache)."""
+        return cls(
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+            hint=str(data.get("hint", "")),
+            waived=bool(data.get("waived", False)),
+            justification=str(data.get("justification", "")),
+        )
 
     def render(self) -> str:
         """``path:line:col: RULE severity: message`` terminal line."""
@@ -228,6 +246,36 @@ class Rule(ast.NodeVisitor):
                 hint=self.hint if hint is None else hint,
             )
         )
+
+
+class ProjectRule:
+    """Base class for whole-tree (interprocedural) passes.
+
+    Unlike :class:`Rule`, which sees one module at a time, a ProjectRule
+    receives the whole :class:`~repro.lint.callgraph.Project` — every
+    parsed module plus the lazily built call graph — and returns raw
+    findings for the runner to waive/report.  Subclasses set the same
+    class attributes as :class:`Rule` so reports and W0 validation treat
+    both kinds uniformly.
+    """
+
+    id: ClassVar[str] = "P0"
+    name: ClassVar[str] = "abstract-project-rule"
+    severity: ClassVar[str] = SEVERITY_ERROR
+    hint: ClassVar[str] = ""
+
+    def check_project(self, project: Any) -> List[Finding]:
+        """Scan the whole project; returns raw findings."""
+        raise NotImplementedError
+
+    def certified(self) -> List[str]:
+        """Human-readable certificates proven by the last check, if any.
+
+        Passes that *prove* properties (rather than merely hunt for
+        violations) report what they proved here; the runner surfaces the
+        list in the JSON report so CI can assert on it.
+        """
+        return []
 
 
 def path_within(relpath: str, *fragments: str) -> bool:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import ClassVar, Optional, Tuple
+from typing import ClassVar, Optional, Tuple, Type
 
 from repro.lint.framework import Rule, path_endswith, path_within
 
@@ -71,7 +71,7 @@ class Gf256MisuseRule(Rule):
     #: Identifiers that mark a value as GF(256) field data.
     GF_NAME = re.compile(r"(^|_)(gf256|gf|coeff\w*)($|_)", re.IGNORECASE)
 
-    FORBIDDEN_OPS: ClassVar[Tuple[type, ...]] = (
+    FORBIDDEN_OPS: ClassVar[Tuple[Type[ast.AST], ...]] = (
         ast.Add,
         ast.Mult,
         ast.Pow,

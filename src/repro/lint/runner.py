@@ -17,15 +17,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.boundary import WorkerBoundaryRule
+from repro.lint.callgraph import Project
+from repro.lint.dataflow import RngProvenanceRule
 from repro.lint.framework import (
     RULE_BAD_WAIVER,
     RULE_PARSE_ERROR,
     SEVERITY_ERROR,
     Finding,
+    ProjectRule,
     Rule,
     SourceModule,
     path_endswith,
 )
+from repro.lint.neutrality import NeutralityRule
 from repro.lint.rules_determinism import DeterminismHazardRule
 from repro.lint.rules_numeric import FloatAccumulationRule, Gf256MisuseRule
 from repro.lint.rules_rng import RngDisciplineRule
@@ -38,13 +43,22 @@ SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", "build", "dist"})
 def default_rules(
     trace_registry: Optional[Dict[str, str]] = None,
 ) -> List[Rule]:
-    """Fresh instances of the full rule set, R1 through R5."""
+    """Fresh instances of the per-module rule set (R1–R5, R8)."""
     return [
         RngDisciplineRule(),
         DeterminismHazardRule(),
         TraceKindRule(registry=trace_registry),
         FloatAccumulationRule(),
         Gf256MisuseRule(),
+        WorkerBoundaryRule(),
+    ]
+
+
+def default_project_rules() -> List[ProjectRule]:
+    """Fresh instances of the interprocedural pass set (R6, R7)."""
+    return [
+        RngProvenanceRule(),
+        NeutralityRule(),
     ]
 
 
@@ -53,10 +67,12 @@ class LintReport:
     """Outcome of one lint run."""
 
     files_scanned: int = 0
-    rules: List[Rule] = field(default_factory=list)
+    rules: List[Any] = field(default_factory=list)
     findings: List[Finding] = field(default_factory=list)
     waived: List[Finding] = field(default_factory=list)
     problems: List[Finding] = field(default_factory=list)
+    #: properties the project passes *proved* (R7 neutrality certificates).
+    certified: List[str] = field(default_factory=list)
 
     @property
     def failures(self) -> List[Finding]:
@@ -73,7 +89,7 @@ class LintReport:
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready report (the CI artifact format)."""
         return {
-            "version": 1,
+            "version": 2,
             "files_scanned": self.files_scanned,
             "rules": [
                 {
@@ -87,6 +103,7 @@ class LintReport:
             "findings": [f.as_dict() for f in self.findings],
             "problems": [f.as_dict() for f in self.problems],
             "waived": [f.as_dict() for f in self.waived],
+            "certified": list(self.certified),
             "summary": {
                 "active": len(self.findings),
                 "problems": len(self.problems),
@@ -195,23 +212,73 @@ def _waiver_problems(module: SourceModule, known_rules: Sequence[str]) -> List[F
     return problems
 
 
+def _apply_waiver(
+    module: SourceModule, finding: Finding
+) -> Tuple[Finding, bool]:
+    """Return (finding, waived?) with the waiver folded in when present."""
+    waiver = module.waiver_for(finding.rule, finding.line)
+    if waiver is None:
+        return finding, False
+    return (
+        Finding(
+            rule=finding.rule,
+            severity=finding.severity,
+            path=finding.path,
+            line=finding.line,
+            col=finding.col,
+            message=finding.message,
+            hint=finding.hint,
+            waived=True,
+            justification=waiver.justification,
+        ),
+        True,
+    )
+
+
+def check_module(
+    module: SourceModule, rules: Sequence[Rule]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run every applicable per-module rule; returns (active, waived)."""
+    active: List[Finding] = []
+    waived: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(module.relpath):
+            continue
+        for finding in rule.check(module):
+            resolved, was_waived = _apply_waiver(module, finding)
+            (waived if was_waived else active).append(resolved)
+    return active, waived
+
+
 def run_lint(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     rules: Optional[List[Rule]] = None,
     trace_registry: Optional[Dict[str, str]] = None,
+    project_rules: Optional[List[ProjectRule]] = None,
+    module_filter: Optional[Set[str]] = None,
 ) -> LintReport:
     """Lint every Python file under *paths* and return the full report.
 
     Args:
         paths: Files or directories to scan.
         root: Base for the relative paths in findings (default: cwd).
-        rules: Rule instances to run (default: R1..R5).
+        rules: Per-module rule instances to run (default: R1–R5, R8).
         trace_registry: Explicit kind registry for R3; by default the
             registry is discovered from a scanned ``sim/trace.py``.
+        project_rules: Interprocedural passes run over the whole scanned
+            tree (default: R6, R7).  These always see every module, even
+            when *module_filter* restricts the per-module rules.
+        module_filter: When given, per-module rules run only on modules
+            whose relpath is in the set (the ``--changed`` accelerator);
+            waiver validation and project passes still cover the full
+            tree.
     """
     modules, problems = _load_modules(paths, root)
     active_rules = rules if rules is not None else default_rules(trace_registry)
+    active_project_rules = (
+        project_rules if project_rules is not None else default_project_rules()
+    )
 
     for rule in active_rules:
         if isinstance(rule, TraceKindRule):
@@ -220,31 +287,32 @@ def run_lint(
                     rule.learn_registry(module)
                     break
 
-    report = LintReport(files_scanned=len(modules), rules=list(active_rules))
+    report = LintReport(
+        files_scanned=len(modules),
+        rules=list(active_rules) + list(active_project_rules),
+    )
     report.problems.extend(problems)
-    known_rules = [rule.id for rule in active_rules]
+    known_rules = [rule.id for rule in report.rules]
 
+    by_relpath = {module.relpath: module for module in modules}
     for module in modules:
         report.problems.extend(_waiver_problems(module, known_rules))
-        for rule in active_rules:
-            if not rule.applies_to(module.relpath):
-                continue
-            for finding in rule.check(module):
-                waiver = module.waiver_for(finding.rule, finding.line)
-                if waiver is not None:
-                    report.waived.append(
-                        Finding(
-                            rule=finding.rule,
-                            severity=finding.severity,
-                            path=finding.path,
-                            line=finding.line,
-                            col=finding.col,
-                            message=finding.message,
-                            hint=finding.hint,
-                            waived=True,
-                            justification=waiver.justification,
-                        )
-                    )
-                else:
-                    report.findings.append(finding)
+        if module_filter is not None and module.relpath not in module_filter:
+            continue
+        active, waived = check_module(module, active_rules)
+        report.findings.extend(active)
+        report.waived.extend(waived)
+
+    project = Project(modules)
+    for project_rule in active_project_rules:
+        for finding in project_rule.check_project(project):
+            owner = by_relpath.get(finding.path)
+            if owner is not None:
+                resolved, was_waived = _apply_waiver(owner, finding)
+                (report.waived if was_waived else report.findings).append(
+                    resolved
+                )
+            else:
+                report.findings.append(finding)
+        report.certified.extend(project_rule.certified())
     return report

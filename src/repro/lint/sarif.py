@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 emitter: the code-scanning face of the lint report.
+
+GitHub code scanning (and every SARIF-aware viewer) consumes a single
+``runs[0]`` with a tool descriptor, a rule table, and one result per
+finding.  The mapping from the native report:
+
+- every rule that ran (per-module and project passes alike) becomes a
+  ``reportingDescriptor`` with its severity as the default level;
+- active findings and waiver problems become plain results;
+- waived findings become results carrying an ``inSource`` suppression
+  with the waiver justification, so they render as dismissed instead of
+  disappearing from the audit trail;
+- R7's neutrality certificates ride in the run's ``properties`` bag —
+  non-standard but legal, and what CI asserts on.
+
+Columns are emitted 1-based as the spec requires (the native report is
+0-based to match ``ast`` offsets).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.framework import SEVERITY_ERROR, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Tool name shown in code-scanning UIs.
+TOOL_NAME = "repro-lint"
+
+
+def _level(severity: str) -> str:
+    return "error" if severity == SEVERITY_ERROR else "warning"
+
+
+def _result(
+    finding: Finding, rule_index: Dict[str, int]
+) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if finding.hint:
+        result["message"]["text"] = f"{finding.message} [{finding.hint}]"
+    if finding.waived:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.justification,
+            }
+        ]
+    return result
+
+
+def report_to_sarif(report: Any) -> Dict[str, Any]:
+    """Convert a :class:`~repro.lint.runner.LintReport` to a SARIF log."""
+    descriptors: List[Dict[str, Any]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in report.rules:
+        if rule.id in rule_index:
+            continue
+        rule_index[rule.id] = len(descriptors)
+        descriptor: Dict[str, Any] = {
+            "id": rule.id,
+            "name": rule.name,
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+        if rule.hint:
+            descriptor["shortDescription"] = {"text": rule.hint}
+        descriptors.append(descriptor)
+
+    results: List[Dict[str, Any]] = []
+    for finding in list(report.findings) + list(report.problems):
+        results.append(_result(finding, rule_index))
+    for finding in report.waived:
+        results.append(_result(finding, rule_index))
+
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "informationUri": "https://example.invalid/repro-lint",
+                "rules": descriptors,
+            }
+        },
+        "results": results,
+        "columnKind": "utf16CodeUnits",
+    }
+    if report.certified:
+        run["properties"] = {"certified": list(report.certified)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def sarif_json(report: Any) -> str:
+    """The SARIF log serialized for the CI artifact."""
+    return json.dumps(report_to_sarif(report), indent=2, sort_keys=True)

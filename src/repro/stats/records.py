@@ -32,6 +32,7 @@ packed into it.
 from __future__ import annotations
 
 import math
+import random
 import struct
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
@@ -214,7 +215,7 @@ class RecordCodec:
 
 
 def synthesize_records(
-    rng,
+    rng: random.Random,
     peer_id: int,
     session_id: int,
     count: int,

@@ -10,9 +10,16 @@ classic array-plus-index-map structure used by event-driven simulators.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Iterator, List, Optional, TypeVar
+import random
+from typing import Dict, Generic, Iterator, List, Optional, TypeVar, Union
+
+import numpy as np
 
 T = TypeVar("T")
+
+#: Anything this module can sample with: stdlib ``Random`` (``randrange``)
+#: or a numpy ``Generator`` (``integers``).
+SamplingRng = Union[random.Random, np.random.Generator]
 
 
 class RandomizedSet(Generic[T]):
@@ -68,7 +75,7 @@ class RandomizedSet(Generic[T]):
         if not self.discard(item):
             raise KeyError(item)
 
-    def sample(self, rng) -> T:
+    def sample(self, rng: SamplingRng) -> T:
         """Return a uniformly random member using *rng* (``random.Random`` or
         ``numpy.random.Generator`` — anything with ``randrange`` or
         ``integers``).  Raises :class:`IndexError` when empty."""
@@ -80,7 +87,9 @@ class RandomizedSet(Generic[T]):
             pos = int(rng.integers(len(self._items)))
         return self._items[pos]
 
-    def sample_excluding(self, rng, excluded: T, max_tries: int = 64) -> Optional[T]:
+    def sample_excluding(
+        self, rng: SamplingRng, excluded: T, max_tries: int = 64
+    ) -> Optional[T]:
         """Return a uniformly random member different from *excluded*.
 
         Uses rejection sampling, which is O(1) in expectation whenever the set

@@ -7,7 +7,7 @@ tables that read well in a terminal and diff cleanly in CI logs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 Cell = Union[str, int, float, None]
 
@@ -66,7 +66,7 @@ def render_table(
 def render_series(
     x_name: str,
     x_values: Sequence[Cell],
-    series: Sequence[tuple],
+    series: Sequence[Tuple[str, Sequence[Cell]]],
     title: Optional[str] = None,
     float_fmt: str = "{:.4f}",
 ) -> str:

@@ -1,0 +1,15 @@
+"""Fixture: an unseeded RNG factory carried through a callback slot."""
+import random
+
+
+def fresh_stream():
+    return random.Random()
+
+
+def run_with(factory):
+    rng = factory()
+    return rng.random()
+
+
+def main():
+    return run_with(fresh_stream)

@@ -1,0 +1,17 @@
+"""Fixture: cross-module laundering of an unseeded RNG."""
+from sim.rng import SeedSequenceRegistry, ambient
+
+
+class Worker:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def step(self):
+        return self._rng.random()
+
+
+def build():
+    seeds = SeedSequenceRegistry()
+    good = Worker(rng=seeds.python("worker"))
+    bad = Worker(rng=ambient())
+    return good, bad

@@ -1,0 +1,14 @@
+"""Fixture: the registry plus an unseeded taint-origin helper."""
+import random
+
+
+class SeedSequenceRegistry:
+    def python(self, name):
+        return random.Random(hash(name))
+
+    def spawn(self, name):
+        return SeedSequenceRegistry()
+
+
+def ambient():
+    return random.Random()

@@ -1,0 +1,11 @@
+"""Fixture: a probe hook invoked without its None guard."""
+
+
+class Simulator:
+    def __init__(self):
+        self._probe = None
+
+    def run_until(self, end):
+        probe = self._probe
+        probe()
+        return end

@@ -1,0 +1,4 @@
+"""Fixture: a read-only registry carries a justified waiver."""
+
+# lint: ok(R8): frozen at import, never mutated
+TABLE = {"a": 1}

@@ -1,0 +1,21 @@
+"""Fixture: mutable state crossing the worker fork boundary."""
+import multiprocessing
+
+_RESULTS = {}
+_LIMITS = (1, 2)
+
+_COUNTER = 0
+
+
+def bump():
+    global _COUNTER
+    _COUNTER += 1
+
+
+def launch(spec):
+    def worker():
+        return spec
+
+    proc = multiprocessing.Process(target=worker)
+    lam = multiprocessing.Process(target=lambda: spec)
+    return proc, lam

@@ -1,0 +1,219 @@
+"""Property and unit tests for the project call-graph builder.
+
+The interprocedural passes (R6/R7) are only as sound as the graph under
+them, so these tests pin its resolution rules directly: direct calls,
+import aliasing, relative imports, method dispatch through inheritance,
+constructor edges, and callback edges into invoked parameters.  The
+hypothesis properties build small synthetic programs with known ground
+truth and assert the recovered edge set matches exactly.
+"""
+
+import keyword
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lint.callgraph import (
+    CallGraph,
+    Project,
+    module_name_for,
+)
+from repro.lint.framework import SourceModule
+
+
+def parse(relpath, source):
+    return SourceModule.parse(Path("/fx") / relpath, relpath, source)
+
+
+def build(*modules):
+    return CallGraph.build([parse(rel, src) for rel, src in modules])
+
+
+def all_sites(graph):
+    return [
+        site for sites in graph.calls_from.values() for site in sites
+    ]
+
+
+def edge_pairs(graph, kind=None):
+    return sorted(
+        (site.caller, site.callee)
+        for site in all_sites(graph)
+        if kind is None or site.kind == kind
+    )
+
+
+class TestModuleNames:
+    def test_plain_and_src_prefixed(self):
+        assert module_name_for("sim/engine.py") == "sim.engine"
+        assert module_name_for("src/repro/sim/engine.py") == (
+            "repro.sim.engine"
+        )
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for("repro/lint/__init__.py") == "repro.lint"
+
+
+class TestResolution:
+    def test_direct_and_aliased_import(self):
+        graph = build(
+            ("pkg/util.py", "def helper():\n    return 1\n"),
+            (
+                "pkg/main.py",
+                "from pkg.util import helper as h\n\n"
+                "def go():\n    return h()\n",
+            ),
+        )
+        assert edge_pairs(graph, "direct") == [
+            ("pkg.main.go", "pkg.util.helper")
+        ]
+
+    def test_relative_import(self):
+        graph = build(
+            ("pkg/__init__.py", ""),
+            ("pkg/util.py", "def helper():\n    return 1\n"),
+            (
+                "pkg/main.py",
+                "from .util import helper\n\n"
+                "def go():\n    return helper()\n",
+            ),
+        )
+        assert edge_pairs(graph, "direct") == [
+            ("pkg.main.go", "pkg.util.helper")
+        ]
+
+    def test_constructor_edge_reaches_init(self):
+        graph = build(
+            (
+                "pkg/obj.py",
+                "class Thing:\n"
+                "    def __init__(self, rng):\n"
+                "        self.rng = rng\n",
+            ),
+            (
+                "pkg/main.py",
+                "from pkg.obj import Thing\n\n"
+                "def go():\n    return Thing(rng=None)\n",
+            ),
+        )
+        (site,) = [
+            s for s in all_sites(graph) if s.kind == "constructor"
+        ]
+        assert site.callee == "pkg.obj.Thing.__init__"
+
+    def test_method_dispatch_through_base_class(self):
+        graph = build(
+            (
+                "pkg/obj.py",
+                "class Base:\n"
+                "    def step(self):\n"
+                "        return 0\n\n\n"
+                "class Derived(Base):\n"
+                "    def go(self):\n"
+                "        return self.step()\n",
+            ),
+        )
+        assert ("pkg.obj.Derived.go", "pkg.obj.Base.step") in edge_pairs(
+            graph, "method"
+        )
+
+    def test_callback_edge_into_invoked_param(self):
+        graph = build(
+            (
+                "pkg/cb.py",
+                "def producer():\n    return 1\n\n\n"
+                "def apply(fn):\n    return fn()\n\n\n"
+                "def go():\n    return apply(producer)\n",
+            ),
+        )
+        direct = edge_pairs(graph, "direct")
+        assert ("pkg.cb.go", "pkg.cb.apply") in direct
+        callbacks = edge_pairs(graph, "callback")
+        assert ("pkg.cb.apply", "pkg.cb.producer") in callbacks
+
+    def test_external_calls_never_become_project_functions(self):
+        graph = build(
+            (
+                "pkg/ext.py",
+                "import os\n\n"
+                "def go():\n    return os.getpid()\n",
+            ),
+        )
+        for _, callee in edge_pairs(graph):
+            assert callee not in graph.functions
+
+
+NAME = st.sampled_from(
+    [n for n in ("alpha", "beta", "gamma", "delta", "omega", "sigma")]
+).filter(lambda n: not keyword.iskeyword(n))
+
+
+class TestProperties:
+    @given(
+        callees=st.lists(NAME, min_size=1, max_size=5, unique=True),
+        called=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_direct_edges_match_called_subset(self, callees, called):
+        """Edges recovered == the subset of helpers the caller invokes."""
+        subset = called.draw(
+            st.lists(st.sampled_from(callees), unique=True)
+        )
+        lines = [f"def {name}():\n    return 0\n\n" for name in callees]
+        body = "".join(f"    {name}()\n" for name in subset) or "    pass\n"
+        lines.append(f"def caller():\n{body}")
+        graph = build(("m.py", "\n".join(lines)))
+        got = {site.callee for site in graph.callees("m.caller")}
+        assert got == {f"m.{name}" for name in subset}
+
+    @given(
+        helper=NAME,
+        alias=NAME,
+        via_alias=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_import_alias_is_transparent(self, helper, alias, via_alias):
+        """``from m import f as g`` resolves g() to m.f, same as f()."""
+        local = alias if via_alias else helper
+        imported = (
+            f"from lib.util import {helper} as {alias}"
+            if via_alias
+            else f"from lib.util import {helper}"
+        )
+        graph = build(
+            ("lib/util.py", f"def {helper}():\n    return 0\n"),
+            (
+                "lib/main.py",
+                f"{imported}\n\ndef go():\n    return {local}()\n",
+            ),
+        )
+        assert edge_pairs(graph, "direct") == [
+            ("lib.main.go", f"lib.util.{helper}")
+        ]
+
+    @given(depth=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_inheritance_chain_resolves_to_root(self, depth):
+        """self.step() on the leaf resolves up an N-deep base chain."""
+        parts = ["class C0:\n    def step(self):\n        return 0\n"]
+        for i in range(1, depth + 1):
+            parts.append(f"class C{i}(C{i - 1}):\n    pass\n")
+        parts.append(
+            f"class Leaf(C{depth}):\n"
+            "    def go(self):\n"
+            "        return self.step()\n"
+        )
+        graph = build(("m.py", "\n\n".join(parts)))
+        assert ("m.Leaf.go", "m.C0.step") in edge_pairs(graph, "method")
+
+
+class TestProject:
+    def test_graph_is_lazy_and_cached(self):
+        project = Project([parse("m.py", "def f():\n    return 1\n")])
+        assert project.graph is project.graph
+        assert "m.f" in project.graph.functions
+
+    def test_by_relpath(self):
+        module = parse("pkg/m.py", "x = 1\n")
+        project = Project([module])
+        assert project.by_relpath["pkg/m.py"] is module

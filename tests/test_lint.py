@@ -36,6 +36,9 @@ class TestGoldenFindings:
         assert triples(report.findings) == [
             ("R1", "experiments/bad_rng.py", 9),
             ("R1", "experiments/bad_rng.py", 11),
+            # the provenance pass independently flags the draw on the
+            # unseeded stream R1 caught at its construction
+            ("R6", "experiments/bad_rng.py", 10),
         ]
         assert report.problems == []
         # the designated RNG module is exempt
@@ -139,7 +142,8 @@ class TestRealTree:
         offender.write_text(snippet, encoding="utf-8")
         report = run_lint([tmp_path], root=tmp_path)
         assert triples(report.findings) == [
-            ("R1", "experiments/regression.py", 5)
+            ("R1", "experiments/regression.py", 5),
+            ("R6", "experiments/regression.py", 6),
         ]
         assert report.exit_code(strict=True) == 1
         assert lint_main(["--strict", "--quiet", str(tmp_path)]) == 1
@@ -165,7 +169,7 @@ class TestCommandLine:
         )
         assert code == 1  # one active error-severity finding
         payload = json.loads(out.read_text(encoding="utf-8"))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["summary"]["active"] == 1
         assert payload["summary"]["waived"] == 1
         assert {r["id"] for r in payload["rules"]} == {
@@ -174,6 +178,9 @@ class TestCommandLine:
             "R3",
             "R4",
             "R5",
+            "R6",
+            "R7",
+            "R8",
         }
         (finding,) = payload["findings"]
         assert finding["rule"] == "R4"
