@@ -1,0 +1,108 @@
+"""Fast-engine benchmarks: events/sec vs the event engine, scale, RSS.
+
+The acceptance bar of the fast path is quantitative: at N=10^4 the
+tau-leap engine must turn over at least 20x the events/sec of the
+event-exact engine on the same abstract-mode workload.  The speedup and
+both absolute rates are recorded in ``extra_info`` so the committed
+``BENCH_baseline.json`` documents them; peak RSS rides along the same
+way (memory is the other axis the million-peer path must hold flat).
+"""
+
+import resource
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.params import ENGINE_FAST, Parameters
+from repro.core.system import CollectionSystem
+from repro.fastsim import FastCollectionSystem
+
+#: Fig. 3 operating point (middle capacity curve, delay-peak segment size).
+_RATES = dict(
+    arrival_rate=20.0,
+    gossip_rate=10.0,
+    deletion_rate=1.0,
+    normalized_capacity=8.0,
+    segment_size=5,
+    n_servers=4,
+)
+
+#: The acceptance-criterion floor: fast-engine events/sec over
+#: event-engine events/sec at N=10^4.
+MIN_SPEEDUP = 20.0
+
+
+def _params(n_peers, engine="event", tau=0.05):
+    extra = dict(engine=ENGINE_FAST, tau=tau) if engine == "fast" else {}
+    return Parameters(n_peers=n_peers, **_RATES, **extra)
+
+
+def _peak_rss_kb():
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _events_per_second(run, *args):
+    started = time.perf_counter()
+    events = run(*args)
+    elapsed = time.perf_counter() - started
+    return events / elapsed if elapsed > 0 else 0.0
+
+
+def _run_fast(n_peers, tau=0.05, warmup=1.0, duration=3.0):
+    system = FastCollectionSystem(_params(n_peers, "fast", tau), seed=1)
+    report = system.run(warmup, duration)
+    assert report.efficiency > 0.0
+    return report.engine_events_fired
+
+
+def _run_event(n_peers, warmup=1.0, duration=3.0):
+    system = CollectionSystem(_params(n_peers), seed=1)
+    report = system.run(warmup, duration)
+    assert report.efficiency > 0.0
+    return report.engine_events_fired
+
+
+def test_bench_fastsim_session_10k(benchmark):
+    """One N=10^4 fast-engine session (tau=0.05), the speedup numerator."""
+    events = run_once(benchmark, _run_fast, 10_000)
+    rate = events / benchmark.stats.stats.total
+    benchmark.extra_info["events"] = int(events)
+    benchmark.extra_info["events_per_second"] = round(rate)
+    benchmark.extra_info["peak_rss_kb"] = _peak_rss_kb()
+    print(f"\nfast engine N=1e4: {rate / 1e6:.2f}M events/s")
+
+
+def test_bench_fastsim_session_100k(benchmark):
+    """One N=10^5 fast-engine session — vectorization amortizes with N."""
+    events = run_once(benchmark, _run_fast, 100_000)
+    rate = events / benchmark.stats.stats.total
+    benchmark.extra_info["events"] = int(events)
+    benchmark.extra_info["events_per_second"] = round(rate)
+    benchmark.extra_info["peak_rss_kb"] = _peak_rss_kb()
+    print(f"\nfast engine N=1e5: {rate / 1e6:.2f}M events/s")
+
+
+def test_bench_fastsim_speedup_vs_event_engine(benchmark):
+    """Acceptance criterion: fast events/sec >= 20x event-exact at N=10^4.
+
+    The event engine runs a shorter horizon (it is the slow side by two
+    orders of magnitude); events/sec is horizon-independent in steady
+    state, which is what the ratio compares.
+    """
+    fast_rate = _events_per_second(_run_fast, 10_000)
+    event_rate = run_once(
+        benchmark,
+        lambda: _events_per_second(_run_event, 10_000, 0.5, 1.0),
+    )
+    speedup = fast_rate / event_rate
+    benchmark.extra_info["fast_events_per_second"] = round(fast_rate)
+    benchmark.extra_info["event_events_per_second"] = round(event_rate)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["peak_rss_kb"] = _peak_rss_kb()
+    print(
+        f"\nN=1e4 events/s: fast {fast_rate / 1e6:.2f}M vs "
+        f"event {event_rate / 1e3:.0f}k -> {speedup:.0f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine is only {speedup:.1f}x the event engine "
+        f"(acceptance floor is {MIN_SPEEDUP:.0f}x)"
+    )

@@ -51,6 +51,7 @@ from repro.experiments import (
     run_fig5,
     run_fig6,
     run_robustness,
+    run_scale,
     run_scheduler_ablation,
     run_selection_ablation,
     run_theorem1,
@@ -69,6 +70,7 @@ RUNNERS: Dict[str, Callable[..., SeriesResult]] = {
     "baseline": run_baseline_comparison,
     "robustness": run_robustness,
     "adversary": run_adversary,
+    "scale": run_scale,
     "ablation-ttl": run_ttl_ablation,
     "ablation-buffer": run_buffer_ablation,
     "ablation-selection": run_selection_ablation,
@@ -109,13 +111,28 @@ def _add_budget_overrides(parser: argparse.ArgumentParser) -> None:
         "--n-servers", type=int, default=None, metavar="N",
         help="override the preset server count",
     )
+    parser.add_argument(
+        "--engine", choices=["event", "fast"], default=None,
+        help=(
+            "simulation engine: 'event' (event-exact, the default) or "
+            "'fast' (vectorized struct-of-arrays; abstract mode only)"
+        ),
+    )
+    parser.add_argument(
+        "--tau", type=float, default=None, metavar="T",
+        help=(
+            "fast-engine tau-leap step in simulated time units "
+            "(0 = exact aggregate clocks; default 0.01)"
+        ),
+    )
 
 
 def _resolve_budget(args: argparse.Namespace) -> Optional[SimBudget]:
     """Apply any budget-override flags; ``None`` means 'use the preset'."""
     seeds = parse_seeds(args.seeds) if args.seeds is not None else None
     overrides = (
-        seeds, args.n_peers, args.warmup, args.duration, args.n_servers
+        seeds, args.n_peers, args.warmup, args.duration, args.n_servers,
+        args.engine, args.tau,
     )
     if all(value is None for value in overrides):
         return None
@@ -126,6 +143,8 @@ def _resolve_budget(args: argparse.Namespace) -> Optional[SimBudget]:
         warmup=args.warmup,
         duration=args.duration,
         n_servers=args.n_servers,
+        engine=args.engine,
+        tau=args.tau,
     )
 
 

@@ -46,6 +46,20 @@ MODE_ABSTRACT = "abstract"
 MODE_RLNC = "rlnc"
 VALID_MODES = (MODE_ABSTRACT, MODE_RLNC)
 
+#: Simulation engines.
+#:
+#: ``"event"`` — the event-exact engine: every protocol action is one event
+#: on the shared heap (repro.core.system + repro.sim.engine).  Any mode.
+#:
+#: ``"fast"`` — the vectorized struct-of-arrays engine (repro.fastsim):
+#: peer/segment state lives in flat numpy columns and the Poisson channels
+#: are advanced in batch steps (tau-leaping, or the exact aggregate-clock
+#: fallback when ``tau == 0``).  Abstract mode only; see docs/PERFORMANCE.md
+#: for the accuracy/speed trade-off.
+ENGINE_EVENT = "event"
+ENGINE_FAST = "fast"
+VALID_ENGINES = (ENGINE_EVENT, ENGINE_FAST)
+
 #: Segment-selection rules for gossip sources and server pulls.
 #:
 #: ``"proportional"`` — a segment is chosen with probability proportional to
@@ -114,6 +128,13 @@ class Parameters:
     #: every Nth rejected draw against a quarantined identity is admitted
     #: as a probation probe so scores can recover.
     probation_interval: int = 64
+    #: simulation engine: "event" (event-exact, any mode) or "fast" (the
+    #: vectorized tau-leaping engine of repro.fastsim, abstract mode only).
+    engine: str = ENGINE_EVENT
+    #: fast-engine step size Δ for tau-leaping over the Poisson channel
+    #: clocks, in simulated time units; ``0.0`` selects the exact
+    #: aggregate-clock fallback.  Ignored by the event engine.
+    tau: float = 0.01
 
     def __post_init__(self) -> None:
         require_positive_int("n_peers", self.n_peers)
@@ -185,6 +206,38 @@ class Parameters:
         )
         require_positive_int("scoring_min_pulls", self.scoring_min_pulls)
         require_positive_int("probation_interval", self.probation_interval)
+        if self.engine not in VALID_ENGINES:
+            raise ValueError(
+                f"engine must be one of {VALID_ENGINES}, got {self.engine!r}"
+            )
+        require_nonnegative("tau", self.tau)
+        if self.engine == ENGINE_FAST:
+            if self.mode != MODE_ABSTRACT:
+                raise ValueError(
+                    f"engine='fast' requires mode={MODE_ABSTRACT!r}, "
+                    f"got mode={self.mode!r}"
+                )
+            if self.gossip_latency != 0.0:
+                raise ValueError(
+                    f"engine='fast' requires gossip_latency == 0 "
+                    f"(instantaneous transfers), got {self.gossip_latency!r}"
+                )
+            if self.pull_policy != "random":
+                raise ValueError(
+                    f"engine='fast' requires pull_policy='random', "
+                    f"got {self.pull_policy!r}"
+                )
+            if self.segment_selection != SELECTION_PROPORTIONAL:
+                raise ValueError(
+                    f"engine='fast' requires segment_selection="
+                    f"{SELECTION_PROPORTIONAL!r}, "
+                    f"got {self.segment_selection!r}"
+                )
+            if self.has_defenses:
+                raise ValueError(
+                    "engine='fast' does not support the server-side "
+                    "defenses (pull_scoring/advert_discounting)"
+                )
 
     # -- derived quantities --------------------------------------------------
 
@@ -271,9 +324,15 @@ class Parameters:
         lifetime = (
             f"L={self.mean_lifetime:g}" if self.churn_enabled else "static"
         )
+        engine = (
+            ""
+            if self.engine == ENGINE_EVENT
+            else f" engine={self.engine} tau={self.tau:g}"
+        )
         return (
             f"N={self.n_peers} λ={self.arrival_rate:g} μ={self.gossip_rate:g} "
             f"γ={self.deletion_rate:g} s={self.segment_size} "
             f"c={self.normalized_capacity:g} N_s={self.n_servers} "
             f"B={self.effective_buffer_capacity} {lifetime} mode={self.mode}"
+            f"{engine}"
         )

@@ -80,6 +80,7 @@ from repro.experiments.robustness import (
     rlnc_pollution_audit,
     run_robustness,
 )
+from repro.experiments.scale import plan_scale, run_scale
 from repro.experiments.theorem1 import plan_theorem1, run_theorem1
 from repro.experiments.transient import plan_transient, run_transient
 
@@ -97,6 +98,7 @@ PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
     "baseline": plan_baseline_comparison,
     "robustness": plan_robustness,
     "adversary": plan_adversary,
+    "scale": plan_scale,
     "ablation-ttl": plan_ttl_ablation,
     "ablation-buffer": plan_buffer_ablation,
     "ablation-selection": plan_selection_ablation,
@@ -151,6 +153,8 @@ __all__ = [
     "plan_robustness",
     "rlnc_pollution_audit",
     "run_robustness",
+    "plan_scale",
+    "run_scale",
     "plan_theorem1",
     "run_theorem1",
     "plan_transient",

@@ -42,7 +42,12 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.params import Parameters
+from repro.core.params import (
+    ENGINE_EVENT,
+    ENGINE_FAST,
+    VALID_ENGINES,
+    Parameters,
+)
 from repro.core.system import CollectionSystem
 from repro.stats.workload import Workload
 from repro.util.summary import summarize
@@ -55,13 +60,31 @@ VALID_QUALITIES = (QUALITY_FAST, QUALITY_FULL)
 
 @dataclass(frozen=True)
 class SimBudget:
-    """Simulation sizing for one quality level."""
+    """Simulation sizing for one quality level.
+
+    ``engine``/``tau`` select the simulation engine for every cell of the
+    sweep (see :class:`repro.core.params.Parameters`): ``"event"`` is the
+    event-exact default, ``"fast"`` the vectorized struct-of-arrays
+    engine with tau-leap step size ``tau`` (0 = exact aggregate clocks).
+    """
 
     n_peers: int
     warmup: float
     duration: float
     seeds: Tuple[int, ...]
     n_servers: int = 4
+    engine: str = ENGINE_EVENT
+    tau: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.engine not in VALID_ENGINES:
+            raise ValueError(
+                f"engine must be one of {VALID_ENGINES}, got {self.engine!r}"
+            )
+        if self.tau < 0 or not math.isfinite(self.tau):
+            raise ValueError(
+                f"tau must be finite and >= 0, got {self.tau!r}"
+            )
 
 
 #: Default budgets.  The paper does not state its simulated N; these sizes
@@ -116,6 +139,8 @@ def override_budget(
     warmup: Optional[float] = None,
     duration: Optional[float] = None,
     n_servers: Optional[int] = None,
+    engine: Optional[str] = None,
+    tau: Optional[float] = None,
 ) -> SimBudget:
     """Return *budget* with any non-``None`` field replaced."""
     changes: Dict[str, Any] = {}
@@ -129,6 +154,10 @@ def override_budget(
         changes["duration"] = float(duration)
     if n_servers is not None:
         changes["n_servers"] = int(n_servers)
+    if engine is not None:
+        changes["engine"] = str(engine)
+    if tau is not None:
+        changes["tau"] = float(tau)
     return replace(budget, **changes) if changes else budget
 
 
@@ -140,17 +169,25 @@ def budget_as_dict(budget: SimBudget) -> Dict[str, Any]:
         "duration": budget.duration,
         "seeds": list(budget.seeds),
         "n_servers": budget.n_servers,
+        "engine": budget.engine,
+        "tau": budget.tau,
     }
 
 
 def budget_from_dict(payload: Mapping[str, Any]) -> SimBudget:
-    """Inverse of :func:`budget_as_dict` (for workers rebuilding a plan)."""
+    """Inverse of :func:`budget_as_dict` (for workers rebuilding a plan).
+
+    ``engine``/``tau`` default when absent so manifests journaled before
+    the fast engine existed still resume.
+    """
     return SimBudget(
         n_peers=int(payload["n_peers"]),
         warmup=float(payload["warmup"]),
         duration=float(payload["duration"]),
         seeds=tuple(int(seed) for seed in payload["seeds"]),
         n_servers=int(payload["n_servers"]),
+        engine=str(payload.get("engine", ENGINE_EVENT)),
+        tau=float(payload.get("tau", 0.01)),
     )
 
 
@@ -334,9 +371,23 @@ def simulate_cell(
     (e.g. no delay observations) are encoded as ``None`` so the payload
     survives strict JSON; :func:`seed_mean` drops them on the other side
     exactly as :func:`simulate_metrics` always has.
+
+    ``params.engine`` selects the simulator: the event-exact engine (the
+    default) or the vectorized fast engine (abstract mode only; see
+    :mod:`repro.fastsim`).
     """
-    system = CollectionSystem(params, seed=seed, workload=workload)
-    report = system.run(warmup, duration)
+    if params.engine == ENGINE_FAST:
+        if workload is not None:
+            raise ValueError(
+                "workload requires engine='event': the fast engine "
+                "simulates the abstract homogeneous-rate model only"
+            )
+        from repro.fastsim import FastCollectionSystem
+
+        report = FastCollectionSystem(params, seed=seed).run(warmup, duration)
+    else:
+        system = CollectionSystem(params, seed=seed, workload=workload)
+        report = system.run(warmup, duration)
     cell: Dict[str, Optional[float]] = {}
     for name in metrics:
         value = getattr(report, name)

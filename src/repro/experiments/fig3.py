@@ -76,6 +76,8 @@ def plan_fig3(
                     normalized_capacity=c,
                     segment_size=s,
                     n_servers=budget.n_servers,
+                    engine=budget.engine,
+                    tau=budget.tau,
                 )
                 for seed in budget.seeds:
                     tasks.append(SimTask(

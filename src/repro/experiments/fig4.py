@@ -80,6 +80,8 @@ def plan_fig4(
                     segment_size=s,
                     n_servers=budget.n_servers,
                     mean_lifetime=CHURN_LIFETIME if churned else None,
+                    engine=budget.engine,
+                    tau=budget.tau,
                 )
                 for seed in budget.seeds:
                     tasks.append(SimTask(

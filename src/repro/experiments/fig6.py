@@ -69,6 +69,8 @@ def plan_fig6(
                     normalized_capacity=c,
                     segment_size=s,
                     n_servers=budget.n_servers,
+                    engine=budget.engine,
+                    tau=budget.tau,
                 )
                 for seed in budget.seeds:
                     tasks.append(SimTask(

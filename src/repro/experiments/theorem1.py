@@ -66,6 +66,8 @@ def plan_theorem1(
             normalized_capacity=CAPACITY,
             segment_size=s,
             n_servers=budget.n_servers,
+            engine=budget.engine,
+            tau=budget.tau,
         )
         for seed in budget.seeds:
             tasks.append(SimTask(

@@ -1,0 +1,250 @@
+"""Vectorized fault/adversary decisions for the fast engine.
+
+These classes are the batch counterparts of
+:class:`repro.faults.injector.FaultInjector` and
+:class:`repro.adversary.injector.AdversaryInjector`.  Two compatibility
+contracts are load-bearing and tested (``tests/test_fastsim_masks.py``):
+
+- **Set/size decisions are bitwise-identical.**  The polluter slot set,
+  the adversary role sets, and burst sizing use the *same formulas on the
+  same ``random.Random`` substream draws* as the scalar injectors, so a
+  fast-engine run and an event-engine run with the same seed pick the
+  same misbehaving slots.
+- **Per-event decisions apply the same rule to the same uniforms.**  A
+  scalar injector decides ``u < p`` per transfer; the mask methods decide
+  the identical predicate over a vector of uniforms (property-tested by
+  replaying one uniform stream through both implementations).
+
+Zero-knob neutrality holds exactly as for the scalar injectors: every
+query short-circuits on the plan knob *before* touching any RNG, so a
+null channel consumes no randomness (lint rule R7 proves this on the
+decision methods below, same as for the injectors).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.adversary.plan import TARGET_LOW_DEGREE, AdversaryPlan
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import exponential
+
+
+class FastFaultMasks:
+    """Batch fault-channel decisions over one :class:`FaultPlan`.
+
+    Args:
+        plan: The fault configuration.
+        py_rng: Dedicated ``random.Random`` substream — consumed by the
+            same formulas as the scalar injector (polluter set, burst
+            slots, renewal outage gaps).
+        np_rng: Dedicated numpy substream for the vectorized per-transfer
+            loss draws.
+        n_slots: Number of peer slots.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        py_rng: random.Random,
+        np_rng: np.random.Generator,
+        n_slots: int,
+    ) -> None:
+        self.plan = plan
+        self._py_rng = py_rng
+        self._np_rng = np_rng
+        self._n_slots = n_slots
+        self.polluters: FrozenSet[int] = self._sample_polluters()
+
+    def _sample_polluters(self) -> FrozenSet[int]:
+        """Identical formula and draw to FaultInjector._sample_polluters."""
+        fraction = self.plan.pollution_fraction
+        if fraction <= 0.0:
+            return frozenset()
+        count = min(self._n_slots, max(1, round(fraction * self._n_slots)))
+        return frozenset(self._py_rng.sample(range(self._n_slots), count))
+
+    def polluter_mask(self) -> np.ndarray:
+        """Boolean slot mask of the configured polluters."""
+        mask = np.zeros(self._n_slots, dtype=bool)
+        if self.polluters:
+            mask[np.fromiter(self.polluters, dtype=np.int64)] = True
+        return mask
+
+    # -- hot-path queries (zero-knob cases must not touch the RNG) ----------
+
+    def gossip_loss_mask(self, count: int) -> Optional[np.ndarray]:
+        """Per-transfer loss decisions for *count* gossip deliveries.
+
+        Returns None (no transfer lost, no RNG touched) when the knob is
+        off — the vector form of ``p > 0.0 and rng.random() < p``.
+        """
+        p = self.plan.gossip_loss_rate
+        if p > 0.0:
+            return self._np_rng.random(count) < p
+        return None
+
+    def pull_loss_mask(self, count: int) -> Optional[np.ndarray]:
+        """Per-pull transfer-loss decisions for *count* server pulls."""
+        p = self.plan.pull_loss_rate
+        if p > 0.0:
+            return self._np_rng.random(count) < p
+        return None
+
+    # -- burst/outage event support ----------------------------------------
+
+    def burst_size(self) -> int:
+        """Identical formula to FaultInjector.burst_size."""
+        return min(
+            self._n_slots,
+            max(1, round(self.plan.burst_fraction * self._n_slots)),
+        )
+
+    def burst_slots(self) -> List[int]:
+        """Slots killed by one burst event (same draw as the injector)."""
+        return self._py_rng.sample(range(self._n_slots), self.burst_size())
+
+    def outage_timeline(self, horizon: float) -> Tuple[Tuple[float, float], ...]:
+        """Materialize the outage schedule over ``[0, horizon]``.
+
+        Deterministic windows pass through (clipped); the renewal process
+        is pre-drawn here — onset gaps are Exp(outage_rate) measured from
+        the previous recovery, exactly the injector's renewal structure.
+        A plan with no outage channel returns () without touching the RNG.
+        """
+        plan = self.plan
+        if plan.outage_windows:
+            clipped = [
+                (start, min(end, horizon))
+                for start, end in plan.outage_windows
+                if start < horizon
+            ]
+            return tuple(clipped)
+        if plan.outage_rate > 0.0:
+            windows = []
+            t = 0.0
+            while True:
+                t += exponential(self._py_rng, plan.outage_rate)
+                if t >= horizon:
+                    break
+                end = min(t + plan.outage_duration, horizon)
+                windows.append((t, end))
+                t = end
+            return tuple(windows)
+        return ()
+
+
+class FastAdversaryMasks:
+    """Batch adversary decisions over one :class:`AdversaryPlan`.
+
+    Role assignment reproduces AdversaryInjector._sample_roles draw for
+    draw (one ``sample(range(n), n)`` permutation carved into disjoint
+    liar/free-rider/polluter prefixes), so same-seed fast and event runs
+    agree on who misbehaves.  Sybil conversions are identity-scoped and
+    live in the system's role arrays (cleared on churn), not here.
+    """
+
+    def __init__(
+        self,
+        plan: AdversaryPlan,
+        py_rng: random.Random,
+        np_rng: np.random.Generator,
+        n_slots: int,
+    ) -> None:
+        self.plan = plan
+        self._py_rng = py_rng
+        self._np_rng = np_rng
+        self._n_slots = n_slots
+        liars, freeriders, polluters = self._sample_roles()
+        self.liars: FrozenSet[int] = liars
+        self.freeriders: FrozenSet[int] = freeriders
+        self.polluters: FrozenSet[int] = polluters
+
+    def _sample_roles(
+        self,
+    ) -> Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
+        """Identical formula and draws to AdversaryInjector._sample_roles."""
+        plan = self.plan
+        n = self._n_slots
+        if plan.static_fraction <= 0.0:
+            return frozenset(), frozenset(), frozenset()
+        order = self._py_rng.sample(range(n), n)
+        counts = []
+        remaining = n
+        for fraction in (
+            plan.liar_fraction,
+            plan.freerider_fraction,
+            plan.polluter_fraction,
+        ):
+            count = 0
+            if fraction > 0.0:
+                count = min(remaining, max(1, round(fraction * n)))
+            counts.append(count)
+            remaining -= count
+        liar_end = counts[0]
+        freerider_end = liar_end + counts[1]
+        polluter_end = freerider_end + counts[2]
+        return (
+            frozenset(order[:liar_end]),
+            frozenset(order[liar_end:freerider_end]),
+            frozenset(order[freerider_end:polluter_end]),
+        )
+
+    def role_mask(self, slots: FrozenSet[int]) -> np.ndarray:
+        """Boolean slot mask of one role set."""
+        mask = np.zeros(self._n_slots, dtype=bool)
+        if slots:
+            mask[np.fromiter(slots, dtype=np.int64)] = True
+        return mask
+
+    @property
+    def targets_low_degree(self) -> bool:
+        """True when strategic polluters steer at low-degree segments."""
+        return (
+            bool(self.polluters)
+            and self.plan.polluter_targeting == TARGET_LOW_DEGREE
+        )
+
+    # -- liar advertisement capture -----------------------------------------
+
+    def capture_probability(self, attractor_count: int) -> float:
+        """P(one pull is captured) given *attractor_count* advertisers.
+
+        The injector's arithmetic verbatim: ``A·k / (A·k + (N − k))``.
+        """
+        k = attractor_count
+        if k <= 0:
+            return 0.0
+        weight = self.plan.liar_inflation * k
+        honest = self._n_slots - k
+        return weight / (weight + honest)
+
+    def capture_mask(self, count: int, attractor_count: int) -> Optional[np.ndarray]:
+        """Per-pull capture decisions; None when nobody advertises."""
+        p = self.capture_probability(attractor_count)
+        if p > 0.0:
+            return self._np_rng.random(count) < p
+        return None
+
+    def capture_attractors(
+        self, count: int, attractors: np.ndarray
+    ) -> np.ndarray:
+        """Uniformly sample the capturing slot for *count* captured pulls."""
+        picks = self._np_rng.integers(0, len(attractors), size=count)
+        return attractors[picks]
+
+    # -- sybil bursts --------------------------------------------------------
+
+    def sybil_burst_size(self) -> int:
+        """Identical formula to AdversaryInjector.sybil_burst_size."""
+        return min(
+            self._n_slots,
+            max(1, round(self.plan.sybil_fraction * self._n_slots)),
+        )
+
+    def sybil_slots(self) -> List[int]:
+        """Slots converted by one sybil burst (same draw as the injector)."""
+        return self._py_rng.sample(range(self._n_slots), self.sybil_burst_size())

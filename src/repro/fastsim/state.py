@@ -1,0 +1,315 @@
+"""Struct-of-arrays session state for the fast engine.
+
+Three flat column groups replace the event engine's object graph:
+
+- **peers** — one ``int64`` block count per slot (the bipartite graph's
+  peer degrees ``y_i``), plus boolean role masks for the fault/adversary
+  channels;
+- **blocks** — a dense table of live blocks, one row per block, holding
+  (owner slot, segment id, polluted flag).  Uniform sampling over rows is
+  exactly the degree-proportional draw the paper's analysis assumes, and
+  deleting rows swaps the tail down so the table stays dense;
+- **segments** — growable columns of per-segment degree ``x_r``, polluted
+  block count, server-collected count ``j_r``, and injection time.
+
+Everything is indexed by position; dead segments (degree 0) are retired
+lazily by :meth:`FastState.compact_segments`, which remaps the block
+table's segment column in one vectorized pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Initial capacity of the growable tables.
+_INITIAL_CAPACITY = 1024
+#: Dead segments must both exceed this floor and outnumber live ones
+#: before a compaction pays for itself.
+_COMPACT_MIN_DEAD = 4096
+
+
+def _grow(array: np.ndarray, needed: int) -> np.ndarray:
+    """Return *array* grown geometrically to hold *needed* rows."""
+    capacity = len(array)
+    if needed <= capacity:
+        return array
+    new_capacity = max(needed, 2 * capacity)
+    grown = np.zeros(new_capacity, dtype=array.dtype)
+    grown[:capacity] = array
+    return grown
+
+
+class FastState:
+    """Mutable struct-of-arrays state of one fast-engine session."""
+
+    def __init__(self, n_peers: int, capacity: int, segment_size: int) -> None:
+        if n_peers < 1:
+            raise ValueError(f"n_peers must be >= 1, got {n_peers}")
+        if capacity < segment_size:
+            raise ValueError(
+                f"capacity ({capacity}) must be >= segment_size "
+                f"({segment_size})"
+            )
+        self.n_peers = n_peers
+        self.capacity = capacity
+        self.segment_size = segment_size
+
+        # peers ------------------------------------------------------------
+        self.peer_blocks = np.zeros(n_peers, dtype=np.int64)
+        #: adversary role masks (all False on honest runs); sybil marks are
+        #: cleared when churn replaces the converted identity.
+        self.is_liar = np.zeros(n_peers, dtype=bool)
+        self.is_freerider = np.zeros(n_peers, dtype=bool)
+        self.is_adv_polluter = np.zeros(n_peers, dtype=bool)
+        self.is_sybil = np.zeros(n_peers, dtype=bool)
+        #: fault-channel polluter slots (FaultPlan.pollution_fraction).
+        self.is_fault_polluter = np.zeros(n_peers, dtype=bool)
+
+        # blocks -----------------------------------------------------------
+        self.block_peer = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self.block_seg = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self.block_polluted = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        self.n_blocks = 0
+
+        # segments ---------------------------------------------------------
+        self.seg_degree = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self.seg_polluted = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self.seg_collected = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self.seg_injected_at = np.zeros(_INITIAL_CAPACITY, dtype=np.float64)
+        self.seg_alive = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        self.n_segments = 0
+        #: live (degree > 0) segments; maintained incrementally so the
+        #: compaction trigger is O(1).
+        self.live_segments = 0
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        """Live blocks in the network (Σ y_i == Σ x_r)."""
+        return self.n_blocks
+
+    def empty_peer_count(self) -> int:
+        """Peers with no buffered blocks (the z₀ population)."""
+        return int(np.count_nonzero(self.peer_blocks[: self.n_peers] == 0))
+
+    def full_peer_count(self) -> int:
+        """Peers at the buffer cap (refuse gossip)."""
+        return int(
+            np.count_nonzero(self.peer_blocks[: self.n_peers] >= self.capacity)
+        )
+
+    def decodable_segment_count(self) -> int:
+        """Segments with network degree >= s (Theorem 4's population)."""
+        m = self.n_segments
+        return int(
+            np.count_nonzero(self.seg_degree[:m] >= self.segment_size)
+        )
+
+    def saved_segment_count(self) -> int:
+        """Decodable segments the servers have not yet reconstructed."""
+        m = self.n_segments
+        return int(
+            np.count_nonzero(
+                (self.seg_degree[:m] >= self.segment_size)
+                & (self.seg_collected[:m] < self.segment_size)
+            )
+        )
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def new_segments(self, injected_at: np.ndarray) -> np.ndarray:
+        """Register len(injected_at) fresh segments; returns their ids.
+
+        The new segments start at degree 0; the caller appends their
+        original blocks through :meth:`append_blocks` immediately after.
+        """
+        count = len(injected_at)
+        start = self.n_segments
+        end = start + count
+        self.seg_degree = _grow(self.seg_degree, end)
+        self.seg_polluted = _grow(self.seg_polluted, end)
+        self.seg_collected = _grow(self.seg_collected, end)
+        self.seg_injected_at = _grow(self.seg_injected_at, end)
+        self.seg_alive = _grow(self.seg_alive, end)
+        self.seg_injected_at[start:end] = injected_at
+        self.seg_alive[start:end] = True
+        self.n_segments = end
+        self.live_segments += count
+        return np.arange(start, end, dtype=np.int64)
+
+    def should_compact(self) -> bool:
+        """True when dead segment rows dominate the segment columns."""
+        dead = self.n_segments - self.live_segments
+        return dead > _COMPACT_MIN_DEAD and dead > self.live_segments
+
+    def compact_segments(self) -> int:
+        """Retire dead segment rows; returns how many were evicted.
+
+        Live segments keep their relative order; the block table's segment
+        column is remapped in one pass.  Segment *ids* are positional, so
+        callers must not hold ids across a compaction.
+        """
+        m = self.n_segments
+        keep = self.seg_alive[:m]
+        kept = int(np.count_nonzero(keep))
+        evicted = m - kept
+        if evicted == 0:
+            return 0
+        remap = np.full(m, -1, dtype=np.int64)
+        remap[np.flatnonzero(keep)] = np.arange(kept, dtype=np.int64)
+        for name in (
+            "seg_degree",
+            "seg_polluted",
+            "seg_collected",
+            "seg_injected_at",
+            "seg_alive",
+        ):
+            column = getattr(self, name)
+            column[:kept] = column[:m][keep]
+            column[kept:m] = 0
+        self.n_segments = kept
+        k = self.n_blocks
+        self.block_seg[:k] = remap[self.block_seg[:k]]
+        return evicted
+
+    # -- block table -------------------------------------------------------
+
+    def append_blocks(
+        self,
+        peers: np.ndarray,
+        segments: np.ndarray,
+        polluted: np.ndarray,
+    ) -> None:
+        """Add one row per (peer, segment, polluted) triple, updating the
+        peer/segment degree columns and the segment pollution counts."""
+        count = len(peers)
+        if count == 0:
+            return
+        start = self.n_blocks
+        end = start + count
+        self.block_peer = _grow(self.block_peer, end)
+        self.block_seg = _grow(self.block_seg, end)
+        self.block_polluted = _grow(self.block_polluted, end)
+        self.block_peer[start:end] = peers
+        self.block_seg[start:end] = segments
+        self.block_polluted[start:end] = polluted
+        self.n_blocks = end
+        np.add.at(self.peer_blocks, peers, 1)
+        np.add.at(self.seg_degree, segments, 1)
+        if polluted.any():
+            np.add.at(self.seg_polluted, segments[polluted], 1)
+
+    def remove_block_rows(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Delete the (unique, sorted) block *rows* from the dense table.
+
+        Returns ``(peers, segments, polluted, extinct_segments)`` of the
+        deleted rows, with degree columns already updated; an *extinct*
+        segment is one whose degree hit zero (it can never gain blocks
+        again and is marked dead).  Uses the vectorized swap-with-tail
+        trick so the table stays dense in O(len(rows) log len(rows)).
+        """
+        count = len(rows)
+        n = self.n_blocks
+        if count == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty.astype(bool), empty
+        peers = self.block_peer[rows].copy()
+        segments = self.block_seg[rows].copy()
+        polluted = self.block_polluted[rows].copy()
+
+        keep_start = n - count
+        holes = rows[rows < keep_start]
+        tail_deleted = rows[rows >= keep_start]
+        tail_kept = np.setdiff1d(
+            np.arange(keep_start, n, dtype=rows.dtype),
+            tail_deleted,
+            assume_unique=True,
+        )
+        self.block_peer[holes] = self.block_peer[tail_kept]
+        self.block_seg[holes] = self.block_seg[tail_kept]
+        self.block_polluted[holes] = self.block_polluted[tail_kept]
+        self.n_blocks = keep_start
+
+        np.subtract.at(self.peer_blocks, peers, 1)
+        np.subtract.at(self.seg_degree, segments, 1)
+        if polluted.any():
+            np.subtract.at(self.seg_polluted, segments[polluted], 1)
+
+        touched = np.unique(segments)
+        extinct = touched[
+            (self.seg_degree[touched] == 0) & self.seg_alive[touched]
+        ]
+        if len(extinct):
+            self.seg_alive[extinct] = False
+            self.live_segments -= len(extinct)
+        return peers, segments, polluted, extinct
+
+    def rows_of_peers(self, slots: np.ndarray) -> np.ndarray:
+        """Block-table rows owned by any of *slots* (one O(K) scan)."""
+        k = self.n_blocks
+        if k == 0 or len(slots) == 0:
+            return np.empty(0, dtype=np.int64)
+        mask = np.isin(self.block_peer[:k], slots)
+        return np.flatnonzero(mask)
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_conservation(self) -> None:
+        """Raise AssertionError on any broken conservation law.
+
+        The array-level counterparts of the chaos end-state monitors:
+        block conservation (peer side == table == segment side), buffer
+        caps, pollution accounting, and collected-count sanity.
+        """
+        n = self.n_peers
+        m = self.n_segments
+        k = self.n_blocks
+        peer_total = int(self.peer_blocks[:n].sum())
+        seg_total = int(self.seg_degree[:m].sum())
+        if peer_total != k or seg_total != k:
+            raise AssertionError(
+                f"block conservation broken: peers hold {peer_total}, "
+                f"segments account {seg_total}, table has {k}"
+            )
+        if (self.peer_blocks[:n] < 0).any():
+            raise AssertionError("negative peer block count")
+        over = int(np.count_nonzero(self.peer_blocks[:n] > self.capacity))
+        if over:
+            raise AssertionError(
+                f"{over} peers exceed the buffer cap {self.capacity}"
+            )
+        if (self.seg_degree[:m] < 0).any():
+            raise AssertionError("negative segment degree")
+        if (self.seg_polluted[:m] < 0).any() or (
+            self.seg_polluted[:m] > self.seg_degree[:m]
+        ).any():
+            raise AssertionError("segment pollution count out of range")
+        table_polluted = int(np.count_nonzero(self.block_polluted[:k]))
+        seg_polluted = int(self.seg_polluted[:m].sum())
+        if table_polluted != seg_polluted:
+            raise AssertionError(
+                f"pollution accounting broken: table tags {table_polluted}, "
+                f"segments account {seg_polluted}"
+            )
+        if (self.seg_collected[:m] < 0).any() or (
+            self.seg_collected[:m] > self.segment_size
+        ).any():
+            raise AssertionError("server collected count out of [0, s]")
+        live = int(np.count_nonzero(self.seg_alive[:m]))
+        if live != self.live_segments:
+            raise AssertionError(
+                f"live-segment counter drifted: counted {live}, "
+                f"tracked {self.live_segments}"
+            )
+        dead_with_degree = int(
+            np.count_nonzero(~self.seg_alive[:m] & (self.seg_degree[:m] > 0))
+        )
+        if dead_with_degree:
+            raise AssertionError(
+                f"{dead_with_degree} dead segments still hold blocks"
+            )

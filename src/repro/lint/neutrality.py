@@ -59,6 +59,10 @@ V_UNKNOWN = "unknown"
 _INFRA_NAMES: Mapping[str, str] = {
     "rng": V_RNG,
     "_rng": V_RNG,
+    "py_rng": V_RNG,
+    "_py_rng": V_RNG,
+    "np_rng": V_RNG,
+    "_np_rng": V_RNG,
     "sim": V_SIM,
     "_sim": V_SIM,
     "tracer": V_TRACER,
@@ -141,6 +145,47 @@ SURFACES: Tuple[Surface, ...] = (
             "polluters": V_EMPTY,
             "_liar_list": V_EMPTY,
             "_sybils": V_EMPTY,
+        },
+    ),
+    Surface(
+        # Vectorized twin of FaultInjector (repro.fastsim.masks): the
+        # batch queries must short-circuit on the plan knob before the
+        # numpy draw, exactly like the scalar injector.  burst_slots is
+        # out of scope — it only runs when a burst event fires, and the
+        # burst channel's rate is 0 under a null plan.
+        class_name="FastFaultMasks",
+        methods=frozenset(
+            {
+                "__init__",
+                "_sample_polluters",
+                "gossip_loss_mask",
+                "pull_loss_mask",
+                "outage_timeline",
+            }
+        ),
+        facts={"plan": V_PLAN, "polluters": V_EMPTY},
+    ),
+    Surface(
+        # Vectorized twin of AdversaryInjector.  capture_mask guards on a
+        # computed probability (0 when nobody advertises), which the
+        # abstract interpreter cannot decide — runtime tests pin it; the
+        # statically provable members are the role sampling and the
+        # sizing arithmetic.
+        class_name="FastAdversaryMasks",
+        methods=frozenset(
+            {
+                "__init__",
+                "_sample_roles",
+                "targets_low_degree",
+                "capture_probability",
+                "sybil_burst_size",
+            }
+        ),
+        facts={
+            "plan": V_PLAN,
+            "liars": V_EMPTY,
+            "freeriders": V_EMPTY,
+            "polluters": V_EMPTY,
         },
     ),
     Surface(

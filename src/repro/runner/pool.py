@@ -6,7 +6,13 @@ stock ``ProcessPoolExecutor`` cannot tell you and why it cannot kill a
 hung task.  The protocol is deliberately tiny:
 
 parent -> worker   ``task_id`` (str) to execute, or ``None`` to shut down
-worker -> parent   ``("ok", task_id, payload)`` or ``("err", task_id, msg)``
+worker -> parent   ``("ok", task_id, payload, meta)`` or
+                   ``("err", task_id, msg)``
+
+``meta`` carries host-side telemetry about the execution (currently the
+worker's ``ru_maxrss`` high-water mark).  It feeds the journal's
+``task-done`` events and NEVER the payload — payloads stay pure functions
+of the task cell so merges remain byte-identical across hosts.
 
 Fault handling, all targeted at the single offending worker:
 
@@ -67,6 +73,25 @@ class TaskFailedError(Exception):
         self.history = history
 
 
+def _worker_meta() -> Dict[str, Any]:
+    """Host-side execution telemetry attached to each ``ok`` message.
+
+    ``ru_maxrss`` is the worker process's lifetime peak resident set (KiB
+    on Linux) — a high-water mark, so for a worker running several tasks
+    each report is the max over the tasks so far.  Platforms without
+    ``resource`` (Windows) report no meta.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return {}
+    return {
+        "max_rss_kb": int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        ),
+    }
+
+
 def worker_main(
     spec_json: str, conn: "multiprocessing.connection.Connection[Any, Any]"
 ) -> None:
@@ -88,7 +113,7 @@ def worker_main(
                 raise
             conn.send(("err", task_id, f"{type(exc).__name__}: {exc}"))
         else:
-            conn.send(("ok", task_id, payload))
+            conn.send(("ok", task_id, payload, _worker_meta()))
 
 
 @dataclass
@@ -311,7 +336,7 @@ class WorkerPool:
         task_id = worker.current_task
         assert task_id is not None
         try:
-            message: Tuple[str, str, Any] = worker.conn.recv()
+            message: Tuple[Any, ...] = worker.conn.recv()
         except (EOFError, OSError):
             # Pipe broke between wait() and recv(): a mid-task crash.
             self._replace_crashed(
@@ -320,7 +345,8 @@ class WorkerPool:
             )
             return
         worker.current_task = None
-        status, reported_id, body = message
+        status, reported_id, body = message[0], message[1], message[2]
+        meta: Dict[str, Any] = dict(message[3]) if len(message) > 3 else {}
         elapsed = time.monotonic() - worker.started_at
         if status == "ok":
             result.payloads[reported_id] = dict(body)
@@ -330,6 +356,7 @@ class WorkerPool:
                 worker=worker.index,
                 attempt=attempts[reported_id],
                 elapsed_seconds=elapsed,
+                peak_rss_kb=meta.get("max_rss_kb"),
             )
             if self._on_task_done is not None:
                 self._on_task_done(

@@ -443,6 +443,9 @@ class PoissonProcess:
       they time, so this is only deterministic when the process owns its
       RNG stream exclusively — never enable it on a shared substream.
       ``set_rate`` discards undrawn gaps (memorylessness at the new rate).
+      On the non-cancellable fast path the whole pre-drawn run is also
+      *scheduled* in bulk (see :meth:`next_times`): the clock re-enters the
+      scheduler once per ``k`` fires instead of re-arming after every fire.
     """
 
     def __init__(
@@ -468,9 +471,10 @@ class PoissonProcess:
         self._cancellable = cancellable
         self._gap_batch = gap_batch
         self._gap_buffer: List[float] = []
-        # Fast-path state: is a handle-free fire queued, and how many stale
-        # (post-stop) fires are still in the queue as pending no-ops?
-        self._armed = False
+        # Fast-path state: how many handle-free fires are queued (one on the
+        # single-gap path, up to gap_batch on the bulk path), and how many
+        # stale (post-stop) fires are still in the queue as pending no-ops?
+        self._armed_count = 0
         self._dead_pending = 0
         # Per-clock perf counters.
         self.events_fired = 0
@@ -508,15 +512,15 @@ class PoissonProcess:
             self._handle.cancel()
             self._handle = None
             self.events_cancelled += 1
-        if self._armed:
-            self._armed = False
-            self._dead_pending += 1
+        if self._armed_count:
+            self._dead_pending += self._armed_count
+            self._armed_count = 0
 
     def set_rate(self, rate: float) -> None:
         """Change the firing rate, rescheduling the next fire accordingly."""
         if rate < 0 or not math.isfinite(rate):
             raise ValueError(f"rate must be finite and >= 0, got {rate!r}")
-        if self._armed:
+        if self._armed_count:
             raise RuntimeError(
                 "set_rate on an armed non-cancellable clock is not "
                 "supported; construct the process with cancellable=True"
@@ -529,6 +533,31 @@ class PoissonProcess:
                 self._handle = None
                 self.events_cancelled += 1
             self._arm()
+
+    def next_times(self, k: int) -> List[float]:
+        """Absolute times of the next *k* fires, drawn in bulk.
+
+        Consumes the per-stream draw sequence exactly as *k* successive
+        fires would — the gap buffer is drained first and refilled in
+        ``gap_batch`` chunks — so mixing bulk and single draws never changes
+        the schedule.  The list may be shorter than *k*: a subnormal rate
+        can overflow an exponential gap to infinity, beyond which the clock
+        never fires.  The caller owns the returned times; the clock's own
+        arming state is untouched.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k!r}")
+        if self._rate <= 0:
+            raise RuntimeError("next_times on a parked (rate 0) clock")
+        times: List[float] = []
+        t = self._sim.now
+        while len(times) < k:
+            gap = self._next_gap()
+            if not math.isfinite(gap):
+                break
+            t += gap
+            times.append(t)
+        return times
 
     def _next_gap(self) -> float:
         if self._gap_batch <= 1:
@@ -546,6 +575,18 @@ class PoissonProcess:
     def _arm(self) -> None:
         if not self._running or self._rate <= 0:
             return
+        if not self._cancellable and self._gap_batch > 1:
+            # Bulk arm: schedule the whole pre-drawn run of fires at once,
+            # entering the scheduler once per gap_batch fires.  Safe only
+            # because the fast path forbids revocation anyway — stop() just
+            # converts the remaining run into stale no-op fires.
+            times = self.next_times(self._gap_batch)
+            sim = self._sim
+            fire = self._fire
+            for when in times:
+                sim.schedule_call_at(when, fire)
+            self._armed_count = len(times)
+            return
         gap = self._next_gap()
         if not math.isfinite(gap):
             # A subnormal rate can overflow expovariate to infinity; such a
@@ -555,7 +596,7 @@ class PoissonProcess:
             self._handle = self._sim.schedule(gap, self._fire)
         else:
             self._sim.schedule_call(gap, self._fire)
-            self._armed = True
+            self._armed_count = 1
 
     def _fire(self) -> None:
         if self._cancellable:
@@ -565,11 +606,14 @@ class PoissonProcess:
                 # Stale fast-path fire from before stop(); drain silently.
                 self._dead_pending -= 1
                 return
-            self._armed = False
+            self._armed_count -= 1
         self.events_fired += 1
         # Re-arm before running the action so the action may stop/retime the
-        # process and have that take effect immediately.
-        self._arm()
+        # process and have that take effect immediately.  On the bulk path
+        # later fires of the run are already queued, so re-arm only once the
+        # run is exhausted.
+        if self._armed_count == 0:
+            self._arm()
         self._action()
 
 

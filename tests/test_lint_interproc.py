@@ -87,11 +87,25 @@ class TestR7Neutrality:
         report = run_lint([REPO_SRC], root=REPO_SRC.parent)
         assert triples(report.findings, rule="R7") == []
         surfaces = {c.split(".")[0] for c in report.certified}
-        assert surfaces == {"FaultInjector", "AdversaryInjector", "Simulator"}
+        assert surfaces == {
+            "FaultInjector",
+            "AdversaryInjector",
+            "FastFaultMasks",
+            "FastAdversaryMasks",
+            "Simulator",
+        }
         assert "Simulator.run_until: neutral under null plan" in (
             report.certified
         )
         assert any(c.startswith("FaultInjector.drop_gossip") for c in report.certified)
+        assert any(
+            c.startswith("FastFaultMasks.gossip_loss_mask")
+            for c in report.certified
+        )
+        assert any(
+            c.startswith("FastAdversaryMasks._sample_roles")
+            for c in report.certified
+        )
 
 
 class TestR8WorkerBoundary:
