@@ -45,6 +45,8 @@ TABLE_TITLES = {
     "ABL_TOPO_TABLE": r"^Ablation — overlay degree",
     "ROBUST_TABLE": r"^Robustness — fault injection",
     "ADVERSARY_TABLE": r"^Adversary — Byzantine strategies",
+    "SCALE_TABLE": r"^E-SCALE —",
+    "LIVE_TABLE": r"^E-LIVE —",
 }
 
 

@@ -25,6 +25,13 @@ monitors and replays minimal reproducers (see ``docs/CHAOS.md``)::
 
     repro chaos run --budget 200 --workers 4 --seed 7
     repro chaos replay runs/chaos-campaign-001/repro-00013.json
+
+The live deployment runtime serves the protocol over real TCP sockets
+(see ``docs/LIVE.md``)::
+
+    repro live swarm --n-peers 64 --duration 8 --json
+    repro live serve --port 9000 &
+    repro live peer --server-host 10.0.0.1 --server-port 9000
 """
 
 from __future__ import annotations
@@ -50,6 +57,7 @@ from repro.experiments import (
     run_fig4,
     run_fig5,
     run_fig6,
+    run_live,
     run_robustness,
     run_scale,
     run_scheduler_ablation,
@@ -71,6 +79,7 @@ RUNNERS: Dict[str, Callable[..., SeriesResult]] = {
     "robustness": run_robustness,
     "adversary": run_adversary,
     "scale": run_scale,
+    "live": run_live,
     "ablation-ttl": run_ttl_ablation,
     "ablation-buffer": run_buffer_ablation,
     "ablation-selection": run_selection_ablation,
@@ -349,6 +358,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.chaos.cli import chaos_main
 
         return chaos_main(argv[1:])
+    if (
+        argv
+        and argv[0] == "live"
+        and len(argv) > 1
+        and argv[1] in ("serve", "peer", "swarm")
+    ):
+        # 'repro live serve|peer|swarm' is the deployment runtime;
+        # bare 'repro live' (no subcommand) runs the E-LIVE experiment.
+        from repro.live.cli import live_main
+
+        return live_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         budget = _resolve_budget(args)

@@ -75,6 +75,7 @@ from repro.experiments.regression import (
 from repro.experiments.fig4 import plan_fig4, run_fig4
 from repro.experiments.fig5 import plan_fig5, run_fig5
 from repro.experiments.fig6 import plan_fig6, run_fig6
+from repro.experiments.live import plan_live, run_live
 from repro.experiments.robustness import (
     plan_robustness,
     rlnc_pollution_audit,
@@ -99,6 +100,7 @@ PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
     "robustness": plan_robustness,
     "adversary": plan_adversary,
     "scale": plan_scale,
+    "live": plan_live,
     "ablation-ttl": plan_ttl_ablation,
     "ablation-buffer": plan_buffer_ablation,
     "ablation-selection": plan_selection_ablation,
@@ -153,6 +155,8 @@ __all__ = [
     "plan_robustness",
     "rlnc_pollution_audit",
     "run_robustness",
+    "plan_live",
+    "run_live",
     "plan_scale",
     "run_scale",
     "plan_theorem1",

@@ -1,0 +1,243 @@
+"""``repro live`` — deploy the protocol over real sockets.
+
+Three subcommands map onto the three deployment shapes:
+
+- ``repro live swarm`` — everything in one process (server + N peer
+  tasks on loopback), run for a fixed window, report to stdout.  This is
+  the E-LIVE workhorse and the CI smoke job.
+- ``repro live serve`` — a standalone logging-server registry process;
+  peers connect to it from anywhere (the docker-compose topology).
+- ``repro live peer`` — one standalone peer process; fetches the entire
+  session configuration from the server's WELCOME frame, so it needs
+  nothing but the server address.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.core.params import MODE_RLNC, Parameters
+from repro.faults.plan import FaultPlan
+from repro.live.harness import run_swarm
+from repro.live.peer import LivePeer
+from repro.live.server import LiveLoggingServer
+
+
+def _add_params_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n-peers", type=int, default=64)
+    parser.add_argument("--arrival-rate", type=float, default=0.25,
+                        help="per-peer block injection rate lambda")
+    parser.add_argument("--gossip-rate", type=float, default=1.0,
+                        help="per-peer gossip rate mu")
+    parser.add_argument("--deletion-rate", type=float, default=0.25,
+                        help="per-block TTL rate gamma")
+    parser.add_argument("--capacity", type=float, default=1.0,
+                        help="normalized server capacity c")
+    parser.add_argument("--segment-size", type=int, default=2)
+    parser.add_argument("--n-servers", type=int, default=4)
+    parser.add_argument("--payload-bytes", type=int, default=64)
+    parser.add_argument("--gossip-loss", type=float, default=0.0)
+    parser.add_argument("--pull-loss", type=float, default=0.0)
+    parser.add_argument("--pollution", type=float, default=0.0)
+
+
+def _params_from_args(args: argparse.Namespace) -> Parameters:
+    faults: Optional[FaultPlan] = None
+    if args.gossip_loss or args.pull_loss or args.pollution:
+        faults = FaultPlan(
+            gossip_loss_rate=args.gossip_loss,
+            pull_loss_rate=args.pull_loss,
+            pollution_fraction=args.pollution,
+        )
+    return Parameters(
+        n_peers=args.n_peers,
+        arrival_rate=args.arrival_rate,
+        gossip_rate=args.gossip_rate,
+        deletion_rate=args.deletion_rate,
+        normalized_capacity=args.capacity,
+        segment_size=args.segment_size,
+        n_servers=args.n_servers,
+        mode=MODE_RLNC,
+        payload_bytes=args.payload_bytes,
+        faults=faults,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro live",
+        description="run the collection protocol over real TCP sockets",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    swarm = sub.add_parser("swarm", help="single-process swarm on loopback")
+    _add_params_flags(swarm)
+    swarm.add_argument("--seed", type=int, default=1)
+    swarm.add_argument("--warmup", type=float, default=4.0,
+                       help="simulated warmup before MARK")
+    swarm.add_argument("--duration", type=float, default=8.0,
+                       help="simulated measurement window")
+    swarm.add_argument("--time-scale", type=float, default=1.0,
+                       help="simulated time units per wall second")
+    swarm.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+
+    serve = sub.add_parser("serve", help="standalone logging-server registry")
+    _add_params_flags(serve)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--host", default="0.0.0.0")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 binds an ephemeral port (printed on stdout)")
+    serve.add_argument("--time-scale", type=float, default=1.0)
+    serve.add_argument("--warmup", type=float, default=4.0)
+    serve.add_argument("--duration", type=float, default=8.0)
+    serve.add_argument("--expect-peers", type=int, default=None,
+                       help="start once this many peers joined "
+                            "(default: n-peers)")
+
+    peer = sub.add_parser("peer", help="standalone peer process")
+    peer.add_argument("--server-host", required=True)
+    peer.add_argument("--server-port", type=int, required=True)
+    peer.add_argument("--slot", type=int, default=None,
+                      help="topology slot (default: server-assigned)")
+    peer.add_argument("--listen-host", default="127.0.0.1",
+                      help="address this peer advertises to the swarm")
+    peer.add_argument("--count", type=int, default=1,
+                      help="run this many peer tasks in one process")
+    return parser
+
+
+async def _run_serve(args: argparse.Namespace) -> int:
+    # Install the drain handlers before anything is observable from the
+    # outside (the endpoint line): once a caller can see the port, a
+    # SIGTERM must drain gracefully rather than hit the default handler.
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+    params = _params_from_args(args)
+    server = LiveLoggingServer(
+        params,
+        args.seed,
+        time_scale=args.time_scale,
+        host=args.host,
+        port=args.port,
+    )
+    await server.start()
+    print(json.dumps({"host": args.host, "port": server.port}), flush=True)
+    try:
+        expected = args.expect_peers or params.n_peers
+        join = asyncio.ensure_future(server.wait_for_peers(expected))
+        stopper = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            {join, stopper}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stop.is_set():
+            join.cancel()
+            await asyncio.gather(join, return_exceptions=True)
+            return 0
+        stopper.cancel()
+        await asyncio.gather(stopper, return_exceptions=True)
+        await server.begin()
+        await asyncio.wait_for(
+            stop.wait(),
+            timeout=(args.warmup + args.duration + 5.0) / args.time_scale,
+        )
+        return 0
+    except asyncio.TimeoutError:
+        return 0
+    finally:
+        await server.stop_protocol()
+        await server.close()
+
+
+async def _run_peer(args: argparse.Namespace) -> int:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+    peers: List[LivePeer] = []
+    for index in range(args.count):
+        slot = None if args.slot is None else args.slot + index
+        peers.append(
+            LivePeer(
+                slot, None, None, args.server_host, args.server_port,
+                listen_host=args.listen_host,
+            )
+        )
+    try:
+        for peer in peers:
+            await peer.start()
+        print(
+            json.dumps({"slots": [peer.slot for peer in peers]}), flush=True
+        )
+        waits = [asyncio.ensure_future(p.stopped.wait()) for p in peers]
+        stopper = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            {*waits, stopper}, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in [*waits, stopper]:
+            task.cancel()
+        await asyncio.gather(*waits, stopper, return_exceptions=True)
+        return 0
+    finally:
+        for peer in peers:
+            await peer.close()
+
+
+def _print_summary(report: Dict[str, Any]) -> None:
+    lines = [
+        ("peers", "n_peers"),
+        ("window (sim units)", "window"),
+        ("segments completed", "segments_completed"),
+        ("normalized throughput", "normalized_throughput"),
+        ("efficiency", "efficiency"),
+        ("mean block delay", "mean_block_delay"),
+        ("mean buffer occupancy", "mean_buffer_occupancy"),
+        ("hash verified / failed",
+         ("hash_verified", "hash_failures")),
+    ]
+    print("live swarm report")
+    for label, key in lines:
+        if isinstance(key, tuple):
+            value = " / ".join(str(report.get(k)) for k in key)
+        else:
+            raw = report.get(key)
+            value = (
+                f"{raw:.4f}" if isinstance(raw, float) else str(raw)
+            )
+        print(f"  {label:<24} {value}")
+
+
+def live_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro live ...``."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "swarm":
+        report = asyncio.run(
+            run_swarm(
+                _params_from_args(args),
+                args.seed,
+                warmup=args.warmup,
+                duration=args.duration,
+                time_scale=args.time_scale,
+            )
+        )
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            _print_summary(report)
+        return 0
+    if args.command == "serve":
+        return asyncio.run(_run_serve(args))
+    if args.command == "peer":
+        return asyncio.run(_run_peer(args))
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(live_main())

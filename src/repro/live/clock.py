@@ -1,0 +1,122 @@
+"""Wall-clock <-> simulated-time mapping for the live runtime.
+
+The simulator's ``Parameters`` express every rate in *simulated time
+units*; the live runtime executes them against the wall clock through one
+linear map::
+
+    sim_now = (wall_now - t0) * time_scale
+
+``time_scale`` is simulated time units per wall-clock second: 2.0 runs the
+protocol twice as fast as unit rates, 0.5 at half speed.  Every event
+timestamp, TTL deadline, and metric window in the live runtime is kept in
+sim units, so live measurements land directly on the simulator's axes
+(throughput in blocks per sim unit, delays in sim units) with no
+post-processing.
+
+Scheduling discipline: loops draw the *next absolute* event time and sleep
+until it (:meth:`LiveClock.sleep_until`), rather than sleeping the drawn
+gap after finishing the previous event's work.  Per-event service time
+(socket round-trips) therefore does not deflate the realized event rate —
+the live Poisson clocks stay honest to their configured rates as long as
+service stays ahead of the schedule on average.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Optional
+
+from repro.sim.rng import exponential
+
+
+class LiveClock:
+    """Monotonic wall clock mapped linearly onto simulated time."""
+
+    __slots__ = ("time_scale", "_t0")
+
+    def __init__(self, time_scale: float) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be > 0, got {time_scale}")
+        self.time_scale = time_scale
+        self._t0: Optional[float] = None
+
+    @property
+    def started(self) -> bool:
+        """True once the epoch is set."""
+        return self._t0 is not None
+
+    def start(self, wall_t0: Optional[float] = None) -> None:
+        """Fix the sim-time epoch (default: now)."""
+        if self._t0 is not None:
+            raise RuntimeError("clock already started")
+        loop = asyncio.get_running_loop()
+        self._t0 = loop.time() if wall_t0 is None else wall_t0
+
+    def now(self) -> float:
+        """Current simulated time (0.0 before :meth:`start`).
+
+        The epoch may be set slightly in the future (the START broadcast
+        gives every peer the same epoch plus a wall-clock lead so they all
+        begin together); during that lead-in the clock reads 0.0 rather
+        than negative, keeping every consumer's time axis monotone
+        non-negative.
+        """
+        if self._t0 is None:
+            return 0.0
+        loop = asyncio.get_running_loop()
+        return max(0.0, (loop.time() - self._t0) * self.time_scale)
+
+    def wall_interval(self, sim_interval: float) -> float:
+        """Wall seconds spanning *sim_interval* simulated units."""
+        return sim_interval / self.time_scale
+
+    async def sleep_sim(self, sim_interval: float) -> None:
+        """Sleep for *sim_interval* simulated units of wall time."""
+        if sim_interval > 0:
+            await asyncio.sleep(self.wall_interval(sim_interval))
+
+    async def sleep_until(self, sim_deadline: float) -> None:
+        """Sleep until simulated time *sim_deadline* (no-op if past)."""
+        remaining = sim_deadline - self.now()
+        if remaining > 0:
+            await asyncio.sleep(self.wall_interval(remaining))
+
+
+class PoissonSchedule:
+    """Absolute-time Poisson event schedule on a :class:`LiveClock`.
+
+    Draws the next event time ahead of the current one, so the realized
+    long-run rate equals *rate* regardless of per-event service time (see
+    the module docstring).  A schedule that falls behind (service slower
+    than the gap) fires immediately until it catches up, mirroring how a
+    backlogged event queue drains.
+    """
+
+    __slots__ = ("_clock", "_rng", "_rate", "_next_at")
+
+    def __init__(
+        self, clock: LiveClock, rng: random.Random, rate: float
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"event rate must be > 0, got {rate}")
+        self._clock = clock
+        self._rng = rng
+        self._rate = rate
+        self._next_at: Optional[float] = None
+
+    async def wait(self) -> float:
+        """Sleep until the next event; returns its scheduled sim time."""
+        if self._next_at is None:
+            self._next_at = self._clock.now() + exponential(
+                self._rng, self._rate
+            )
+        at = self._next_at
+        await self._clock.sleep_until(at)
+        self._next_at = at + exponential(self._rng, self._rate)
+        return at
+
+    def defer(self, sim_interval: float) -> None:
+        """Push the pending event back by *sim_interval* (outage resume)."""
+        if self._next_at is not None:
+            self._next_at += sim_interval

@@ -1,0 +1,241 @@
+"""Length-prefixed JSON+bytes framing for the live runtime.
+
+Every message on a live-runtime TCP stream is one *frame*::
+
+    +-------+------------+-------------+---------------+---------------+
+    | magic | header len | payload len | header (JSON) | payload bytes |
+    | 4 B   | u32 BE     | u32 BE      | header-len B  | payload-len B |
+    +-------+------------+-------------+---------------+---------------+
+
+The header is a compact, sorted-key JSON object (always a dict, always
+carrying a ``"type"`` key by convention — see :mod:`repro.live.wire`); the
+payload is opaque bytes (coefficient vectors and coded payload rows travel
+here so GF(256) data never round-trips through JSON).
+
+Failure behavior is part of the contract: a reader faced with a bad magic,
+an oversized length, an unparseable header, or an EOF mid-frame raises a
+:class:`FrameError` subclass *immediately* — it never blocks waiting for
+bytes that cannot complete a valid frame.  The sans-IO
+:class:`FrameDecoder` exposes the same state machine for byte-level fuzz
+tests; :func:`read_frame` / :func:`write_frame` adapt it to asyncio
+streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Frame preamble; a connection speaking anything else fails fast.
+MAGIC = b"RPLV"
+
+#: Big-endian (header_len, payload_len) length prefix.
+_LENGTHS = struct.Struct(">II")
+
+#: Fixed prefix size: magic + the two length words.
+PREFIX_SIZE = len(MAGIC) + _LENGTHS.size
+
+#: Upper bounds enforced on both ends; a peer announcing more is treated
+#: as garbage, not as a request to allocate.
+MAX_HEADER_BYTES = 1 << 20
+MAX_PAYLOAD_BYTES = 1 << 26
+
+
+class FrameError(Exception):
+    """Base class of every framing protocol error."""
+
+
+class FrameGarbage(FrameError):
+    """The stream does not contain a valid frame (bad magic/JSON header)."""
+
+
+class FrameTooLarge(FrameError):
+    """A declared header or payload length exceeds the protocol bounds."""
+
+
+class FrameTruncated(FrameError):
+    """The stream ended mid-frame (EOF before the declared bytes arrived)."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: a JSON header dict plus opaque payload bytes."""
+
+    header: Mapping[str, Any]
+    payload: bytes = b""
+
+    @property
+    def type(self) -> str:
+        """The conventional ``"type"`` key ('' when absent)."""
+        value = self.header.get("type", "")
+        return value if isinstance(value, str) else ""
+
+
+def _encode_header(header: Mapping[str, Any]) -> bytes:
+    try:
+        return json.dumps(
+            dict(header), separators=(",", ":"), sort_keys=True,
+            allow_nan=False,
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"unserializable frame header: {exc}") from exc
+
+
+def _parse_header(data: bytes) -> Dict[str, Any]:
+    try:
+        header = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameGarbage(f"frame header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise FrameGarbage(
+            f"frame header must be a JSON object, got {type(header).__name__}"
+        )
+    return header
+
+
+def _check_lengths(header_len: int, payload_len: int) -> None:
+    if header_len > MAX_HEADER_BYTES:
+        raise FrameTooLarge(
+            f"declared header length {header_len} exceeds "
+            f"{MAX_HEADER_BYTES}"
+        )
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise FrameTooLarge(
+            f"declared payload length {payload_len} exceeds "
+            f"{MAX_PAYLOAD_BYTES}"
+        )
+    if header_len == 0:
+        raise FrameGarbage("declared header length is 0 (no JSON object)")
+
+
+def encode_frame(header: Mapping[str, Any], payload: bytes = b"") -> bytes:
+    """Serialize one frame to wire bytes."""
+    head = _encode_header(header)
+    if len(head) > MAX_HEADER_BYTES:
+        raise FrameTooLarge(
+            f"encoded header is {len(head)} bytes (max {MAX_HEADER_BYTES})"
+        )
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise FrameTooLarge(
+            f"payload is {len(payload)} bytes (max {MAX_PAYLOAD_BYTES})"
+        )
+    return MAGIC + _LENGTHS.pack(len(head), len(payload)) + head + payload
+
+
+@dataclass
+class FrameDecoder:
+    """Sans-IO incremental frame parser.
+
+    Feed arbitrary byte chunks; complete frames come back in order.  The
+    decoder validates eagerly — magic and length bounds are checked as soon
+    as the prefix is buffered, so garbage input raises on the offending
+    :meth:`feed` call instead of accumulating forever.
+    """
+
+    _buffer: bytearray = field(default_factory=bytearray)
+    _dead: bool = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Consume *data*; return every frame it completes."""
+        if self._dead:
+            raise FrameGarbage("decoder poisoned by an earlier protocol error")
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            frame = self._try_extract()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _try_extract(self) -> Optional[Frame]:
+        buf = self._buffer
+        if len(buf) < len(MAGIC):
+            if not MAGIC.startswith(bytes(buf)):
+                self._poison()
+                raise FrameGarbage(f"bad frame magic {bytes(buf)!r}")
+            return None
+        if bytes(buf[: len(MAGIC)]) != MAGIC:
+            self._poison()
+            raise FrameGarbage(f"bad frame magic {bytes(buf[:4])!r}")
+        if len(buf) < PREFIX_SIZE:
+            return None
+        header_len, payload_len = _LENGTHS.unpack_from(buf, len(MAGIC))
+        try:
+            _check_lengths(header_len, payload_len)
+        except FrameError:
+            self._poison()
+            raise
+        total = PREFIX_SIZE + header_len + payload_len
+        if len(buf) < total:
+            return None
+        head = bytes(buf[PREFIX_SIZE : PREFIX_SIZE + header_len])
+        payload = bytes(buf[PREFIX_SIZE + header_len : total])
+        del buf[:total]
+        try:
+            header = _parse_header(head)
+        except FrameError:
+            self._poison()
+            raise
+        return Frame(header=header, payload=payload)
+
+    def finish(self) -> None:
+        """Declare EOF; raises :class:`FrameTruncated` mid-frame."""
+        if self._buffer:
+            raise FrameTruncated(
+                f"stream ended with {len(self._buffer)} byte(s) of an "
+                "incomplete frame buffered"
+            )
+
+    def _poison(self) -> None:
+        self._dead = True
+        self._buffer.clear()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Frame]:
+    """Read exactly one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF mid-frame raises :class:`FrameTruncated`; a bad magic or header
+    raises :class:`FrameGarbage`; absurd lengths raise
+    :class:`FrameTooLarge`.  The caller never hangs on a stream that cannot
+    produce a complete valid frame — every wait is for bytes the prefix
+    declared.
+    """
+    try:
+        prefix = await reader.readexactly(PREFIX_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameTruncated(
+            f"stream ended {len(exc.partial)} byte(s) into a frame prefix"
+        ) from exc
+    if prefix[: len(MAGIC)] != MAGIC:
+        raise FrameGarbage(f"bad frame magic {prefix[:len(MAGIC)]!r}")
+    header_len, payload_len = _LENGTHS.unpack_from(prefix, len(MAGIC))
+    _check_lengths(header_len, payload_len)
+    try:
+        body = await reader.readexactly(header_len + payload_len)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameTruncated(
+            f"stream ended {len(exc.partial)}/{header_len + payload_len} "
+            "byte(s) into a frame body"
+        ) from exc
+    header = _parse_header(body[:header_len])
+    return Frame(header=header, payload=body[header_len:])
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    header: Mapping[str, Any],
+    payload: bytes = b"",
+) -> None:
+    """Serialize and send one frame, honoring transport backpressure."""
+    writer.write(encode_frame(header, payload))
+    await writer.drain()

@@ -1,0 +1,537 @@
+"""A live peer node: the Sec. 2 protocol as asyncio tasks over real TCP.
+
+One :class:`LivePeer` wraps the *same* :class:`repro.core.peer.Peer`
+buffer model the simulator uses and drives it with four long-lived tasks:
+
+- **injection** — at rate λ/s, group ``s`` fresh payload rows into a
+  segment, systematically encode them (:func:`make_source_blocks`), and
+  buffer the source blocks;
+- **gossip** — at rate μ, re-encode one buffered segment with the GF(256)
+  kernels (:func:`SegmentHolding.make_coded_block`) and push the coded
+  block to a uniformly drawn peer, with the simulator's rejection-sampled
+  target eligibility realized as an OFFER/OFFER-REPLY round-trip;
+- **expiry** — per-block TTL at rate γ via a deadline heap;
+- **control** — the registry connection: directory/start/mark/stop
+  downstream, buffer status upstream, metrics on request, RESET
+  (disconnect-burst) teardown.
+
+Every random draw comes from named :class:`SeedSequenceRegistry`
+substreams keyed by the peer's slot, so a swarm is reproducible from one
+root seed whether peers run as tasks in one process or as separate
+processes on separate hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.coding.block import CodedBlock, SegmentDescriptor, make_source_blocks
+from repro.core.params import SELECTION_UNIFORM, Parameters
+from repro.core.peer import Peer
+from repro.live import ports, wire
+from repro.live.clock import LiveClock, PoissonSchedule
+from repro.live.framing import Frame, FrameError
+from repro.live.livemetrics import PeerStats
+from repro.live.transport import (
+    ConnectionCache,
+    FramedConnection,
+    NetemShim,
+    POLLUTER_STREAM,
+)
+from repro.sim.rng import SeedSequenceRegistry, exponential
+
+#: Outbound gossip connections kept per peer; bounds the swarm's total
+#: descriptor count to O(N · GOSSIP_CACHE) instead of O(N^2).
+GOSSIP_CACHE = 4
+
+#: Segment ids are globally unique without coordination: slot << SHIFT | n.
+_SEGMENT_SHIFT = 32
+
+
+class LivePeer:
+    """One peer node of a live swarm (in-process task or standalone)."""
+
+    def __init__(
+        self,
+        slot: Optional[int],
+        params: Optional[Parameters],
+        seed: Optional[int],
+        server_host: str,
+        server_port: int,
+        clock: Optional[LiveClock] = None,
+        time_scale: float = 1.0,
+        listen_host: str = "127.0.0.1",
+    ) -> None:
+        self.slot = -1 if slot is None else slot
+        self._requested_slot = slot
+        self.params: Optional[Parameters] = None
+        self.generation = 0
+        self._server_addr = (server_host, server_port)
+        self._listen_host = listen_host
+        self._clock_given = clock is not None
+        self.clock: LiveClock = (
+            clock if clock is not None else LiveClock(time_scale)
+        )
+        self.stats = PeerStats()
+        if params is not None:
+            if seed is None:
+                raise ValueError("a pre-configured peer needs its seed")
+            self._configure(params, seed)
+        self.directory: Dict[int, Tuple[str, int]] = {}
+        self._digests: Dict[int, str] = {}
+        self._ttl_heap: List[Tuple[float, int, CodedBlock]] = []
+        self._ttl_seq = 0
+        self._ttl_wakeup = asyncio.Event()
+        self._segment_seq = 0
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self.listen_port = 0
+        self._control: Optional[FramedConnection] = None
+        self._cache = ConnectionCache(self._open_gossip, GOSSIP_CACHE)
+        self._protocol_tasks: List["asyncio.Task[None]"] = []
+        self._control_task: Optional["asyncio.Task[None]"] = None
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self._status_event = asyncio.Event()
+        self._status_sent_nonempty = False
+        self._running = False
+        self.stopped = asyncio.Event()
+
+    def _configure(self, params: Parameters, seed: int) -> None:
+        """Bind the protocol state once slot, params, and seed are known."""
+        if params.payload_bytes <= 0:
+            raise ValueError(
+                "the live runtime moves real bytes: set mode='rlnc' and "
+                "payload_bytes > 0"
+            )
+        if params.has_adversary:
+            raise ValueError("the live runtime does not run adversary plans")
+        if self.slot < 0:
+            raise RuntimeError("cannot configure a peer with no slot yet")
+        self.params = params
+        slot = self.slot
+        seeds = SeedSequenceRegistry(seed)
+        self._events_rng = seeds.python(f"live:peer{slot}:events")
+        self._select_rng = seeds.python(f"live:peer{slot}:select")
+        self._coding_rng = seeds.numpy(f"live:peer{slot}:coding")
+        self._payload_rng = seeds.numpy(f"live:peer{slot}:payload")
+        self.netem = NetemShim(
+            params.faults,
+            params.n_peers,
+            seeds.python(POLLUTER_STREAM),
+            seeds.python(f"live:peer{slot}:netem"),
+        )
+        self.core = Peer(slot, params.effective_buffer_capacity)
+
+    @property
+    def cfg(self) -> Parameters:
+        """The session parameters (raises until configuration is known)."""
+        params = self.params
+        if params is None:
+            raise RuntimeError(
+                "peer is not configured yet: no local Parameters and no "
+                "WELCOME received"
+            )
+        return params
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener, register with the logging server.
+
+        A peer constructed without local configuration (the standalone
+        ``repro live peer`` entry point) adopts the session parameters,
+        seed, and time scale the WELCOME frame carries.
+        """
+        self._listener, self.listen_port = await ports.start_server(
+            self._handle_connection, self._listen_host
+        )
+        self._control = await FramedConnection.open(*self._server_addr)
+        await self._control.send({
+            "type": wire.MSG_HELLO,
+            "slot": self._requested_slot,
+            "host": self._listen_host,
+            "port": self.listen_port,
+        })
+        welcome = await self._control.read()
+        if welcome is None or welcome.type != wire.MSG_WELCOME:
+            raise ConnectionError(
+                f"peer {self.slot}: expected WELCOME, got "
+                f"{None if welcome is None else welcome.type!r}"
+            )
+        self.slot = int(welcome.header["slot"])
+        if self.params is None:
+            if not self._clock_given and not self.clock.started:
+                self.clock = LiveClock(float(welcome.header["time_scale"]))
+            self._configure(
+                wire.params_from_wire(welcome.header["params"]),
+                int(welcome.header["seed"]),
+            )
+        self._control_task = asyncio.create_task(
+            self._control_loop(), name=f"peer{self.slot}:control"
+        )
+
+    async def close(self) -> None:
+        """Tear everything down; leaves no tasks or transports behind."""
+        self._stop_protocol()
+        for task in [self._control_task, *self._protocol_tasks,
+                     *self._conn_tasks]:
+            if task is not None:
+                task.cancel()
+        await asyncio.gather(
+            *(t for t in [self._control_task, *self._protocol_tasks,
+                          *self._conn_tasks] if t is not None),
+            return_exceptions=True,
+        )
+        self._protocol_tasks.clear()
+        self._conn_tasks.clear()
+        await self._cache.close_all()
+        if self._control is not None:
+            await self._control.close()
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        self.stopped.set()
+
+    # -- control plane ------------------------------------------------------
+
+    async def _control_loop(self) -> None:
+        assert self._control is not None
+        try:
+            while True:
+                frame = await self._control.read()
+                if frame is None or frame.type == wire.MSG_BYE:
+                    break
+                await self._handle_control(frame)
+        except (FrameError, ConnectionError, OSError):
+            pass
+        finally:
+            self._stop_protocol()
+            self.stopped.set()
+
+    async def _handle_control(self, frame: Frame) -> None:
+        assert self._control is not None
+        kind = frame.type
+        if kind == wire.MSG_DIRECTORY:
+            self.directory = {
+                int(slot): (str(host), int(port))
+                for slot, (host, port) in frame.header["peers"].items()
+            }
+        elif kind == wire.MSG_START:
+            if not self.clock.started:
+                loop = asyncio.get_running_loop()
+                self.clock.start(loop.time() + float(frame.header.get("in", 0.0)))
+            self._start_protocol()
+        elif kind == wire.MSG_MARK:
+            self.stats.begin_window(self.clock.now())
+        elif kind == wire.MSG_STOP:
+            self._stop_protocol()
+        elif kind == wire.MSG_RESET:
+            await self._burst_reset()
+        elif kind == wire.MSG_METRICS:
+            now = self.clock.now()
+            await self._control.send({
+                "type": wire.MSG_METRICS_REPLY,
+                "slot": self.slot,
+                "req": frame.header.get("req"),
+                "stats": self.stats.to_wire(now),
+            })
+
+    def _start_protocol(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        spawn = asyncio.create_task
+        name = f"peer{self.slot}"
+        self._protocol_tasks = [
+            spawn(self._injection_loop(), name=f"{name}:inject"),
+            spawn(self._expiry_loop(), name=f"{name}:expiry"),
+            spawn(self._status_loop(), name=f"{name}:status"),
+        ]
+        if self.cfg.gossip_rate > 0:
+            self._protocol_tasks.append(
+                spawn(self._gossip_loop(), name=f"{name}:gossip")
+            )
+
+    def _stop_protocol(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for task in self._protocol_tasks:
+            task.cancel()
+
+    # -- buffer bookkeeping -------------------------------------------------
+
+    def _store_block(self, block: CodedBlock, digest: str) -> None:
+        """Buffer one live block: core model + TTL clock + status + stats."""
+        now = self.clock.now()
+        self.core.add_block(block)
+        self._digests.setdefault(block.segment.segment_id, digest)
+        ttl = exponential(self._events_rng, self.cfg.deletion_rate)
+        heapq.heappush(
+            self._ttl_heap, (now + ttl, self._ttl_seq, block)
+        )
+        self._ttl_seq += 1
+        self._ttl_wakeup.set()
+        self._after_buffer_change(now)
+
+    def _after_buffer_change(self, now: float) -> None:
+        self.stats.on_buffer_change(now, self.core.block_count)
+        self._status_event.set()
+
+    async def _status_loop(self) -> None:
+        """Push empty/nonempty transitions to the registry (deduplicated)."""
+        assert self._control is not None
+        while True:
+            await self._status_event.wait()
+            self._status_event.clear()
+            nonempty = not self.core.is_empty
+            if nonempty != self._status_sent_nonempty:
+                self._status_sent_nonempty = nonempty
+                await self._control.send({
+                    "type": wire.MSG_STATUS,
+                    "slot": self.slot,
+                    "nonempty": nonempty,
+                })
+
+    # -- protocol loops -----------------------------------------------------
+
+    async def _injection_loop(self) -> None:
+        schedule = PoissonSchedule(
+            self.clock, self._events_rng, self.cfg.segment_arrival_rate
+        )
+        s = self.cfg.segment_size
+        while True:
+            await schedule.wait()
+            # Timestamp with the realized clock reading, not the scheduled
+            # event time: a backlogged schedule fires late, and delays are
+            # measured between *actual* injection and *actual* completion.
+            at = self.clock.now()
+            if not self.core.can_inject(s):
+                self.stats.blocked_injections += 1
+                continue
+            segment_id = (self.slot << _SEGMENT_SHIFT) | self._segment_seq
+            self._segment_seq += 1
+            descriptor = SegmentDescriptor(
+                segment_id=segment_id,
+                source_peer=self.slot,
+                size=s,
+                injected_at=at,
+                generation=self.generation,
+            )
+            payloads = self._payload_rng.integers(
+                0, 256, size=(s, self.cfg.payload_bytes), dtype=np.uint8
+            )
+            digest = wire.payload_digest(payloads.tobytes())
+            for block in make_source_blocks(descriptor, payloads, created_at=at):
+                self._store_block(block, digest)
+            self.stats.injected_segments += 1
+            self.stats.injected_blocks += s
+
+    async def _gossip_loop(self) -> None:
+        schedule = PoissonSchedule(
+            self.clock, self._events_rng, self.cfg.gossip_rate
+        )
+        uniform = self.cfg.segment_selection == SELECTION_UNIFORM
+        while True:
+            at = await schedule.wait()
+            if self.core.is_empty:
+                # Idle tick: the mu-clock ran with nothing to send.
+                continue
+            if uniform:
+                segment_id = self.core.sample_segment(self._select_rng)
+            else:
+                segment_id = self.core.sample_segment_proportional(
+                    self._select_rng
+                )
+            holding = self.core.holdings[segment_id]
+            block = holding.make_coded_block(self._coding_rng, at)
+            self.netem.maybe_pollute(self.slot, holding, block)
+            digest = self._digests.get(segment_id, "")
+            await self._gossip_block(segment_id, block, digest)
+
+    async def _gossip_block(
+        self, segment_id: int, block: CodedBlock, digest: str
+    ) -> None:
+        """Rejection-sample an eligible target over the wire and send."""
+        n = self.cfg.n_peers
+        size = block.segment.size
+        for _ in range(self.cfg.gossip_target_tries):
+            if n < 2:
+                break
+            target = self._select_rng.randrange(n - 1)
+            if target >= self.slot:
+                target += 1
+            try:
+                conn = await self._cache.get(target)
+                self.stats.offers_sent += 1
+                reply = await conn.request({
+                    "type": wire.MSG_OFFER,
+                    "segment_id": segment_id,
+                    "size": size,
+                })
+            except (ConnectionError, FrameError, OSError):
+                await self._cache.drop(target)
+                continue
+            if reply.type != wire.MSG_OFFER_REPLY:
+                await self._cache.drop(target)
+                continue
+            if not reply.header.get("want", False):
+                continue
+            header, payload = wire.block_to_wire(wire.MSG_BLOCK, block, digest)
+            try:
+                await conn.send(header, payload)
+            except (ConnectionError, OSError):
+                await self._cache.drop(target)
+                continue
+            # Counted at the sender on send, like the simulator's tick;
+            # the receiver may still drop it on the lossy link.
+            self.stats.gossip_transfers += 1
+            return
+        self.stats.gossip_no_target += 1
+
+    async def _expiry_loop(self) -> None:
+        """Drive per-block TTL expiry off the deadline heap."""
+        heap = self._ttl_heap
+        while True:
+            if not heap:
+                await self._ttl_wakeup.wait()
+                self._ttl_wakeup.clear()
+                continue
+            deadline, _, block = heap[0]
+            if not block.alive:
+                heapq.heappop(heap)
+                continue
+            now = self.clock.now()
+            if deadline > now:
+                try:
+                    await asyncio.wait_for(
+                        self._ttl_wakeup.wait(),
+                        timeout=self.clock.wall_interval(deadline - now),
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                else:
+                    self._ttl_wakeup.clear()
+                continue
+            heapq.heappop(heap)
+            block.alive = False
+            if self.core.remove_block(block):
+                self.stats.blocks_expired += 1
+                self._after_buffer_change(self.clock.now())
+
+    async def _burst_reset(self) -> None:
+        """Disconnect-burst: wipe the buffer, bump the generation, drop
+        every outbound connection mid-stream."""
+        lost = self.core.block_count
+        for block in self.core.all_blocks():
+            block.alive = False
+        self.generation += 1
+        self.core = Peer(
+            self.slot,
+            self.cfg.effective_buffer_capacity,
+            generation=self.generation,
+            joined_at=self.clock.now(),
+        )
+        self._digests.clear()
+        self.stats.blocks_lost_to_churn += lost
+        await self._cache.close_all()
+        self._after_buffer_change(self.clock.now())
+
+    # -- data plane (incoming) ----------------------------------------------
+
+    async def _open_gossip(self, target: int) -> FramedConnection:
+        try:
+            host, port = self.directory[target]
+        except KeyError:
+            raise ConnectionError(f"no directory entry for slot {target}")
+        return await FramedConnection.open(host, port, attempts=2)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one inbound connection (gossip sender or pulling server)."""
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        conn = FramedConnection(reader, writer)
+        try:
+            while True:
+                frame = await conn.read()
+                if frame is None:
+                    break
+                kind = frame.type
+                if kind == wire.MSG_OFFER:
+                    await self._serve_offer(conn, frame)
+                elif kind == wire.MSG_BLOCK:
+                    self._receive_block(frame)
+                elif kind == wire.MSG_PULL:
+                    await self._serve_pull(conn)
+                # Unknown types are ignored (forward compatibility).
+        except (FrameError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Teardown cancels handler tasks; swallow so the streams
+            # machinery sees a clean exit, not an unhandled cancellation.
+            pass
+        finally:
+            try:
+                await conn.close()
+            except asyncio.CancelledError:
+                pass
+            # Deregister only after the transport is down: close() gathers
+            # this set, so a task must stay visible until fully drained.
+            self._conn_tasks.discard(task)
+
+    async def _serve_offer(self, conn: FramedConnection, frame: Frame) -> None:
+        try:
+            segment_id = int(frame.header["segment_id"])
+            size = int(frame.header["size"])
+        except (KeyError, TypeError, ValueError):
+            await conn.send({"type": wire.MSG_OFFER_REPLY, "want": False})
+            return
+        want = self.core.needs_segment(segment_id, size)
+        await conn.send({"type": wire.MSG_OFFER_REPLY, "want": bool(want)})
+
+    def _receive_block(self, frame: Frame) -> None:
+        """A gossiped coded block arrived (possibly on a lossy link)."""
+        if self.netem.drop_gossip():
+            self.stats.transfers_dropped += 1
+            return
+        block = wire.block_from_wire(frame.header, frame.payload)
+        segment = block.segment
+        if not self.core.needs_segment(segment.segment_id, segment.size):
+            # The buffer filled up or the segment got satisfied between the
+            # OFFER round-trip and delivery: the transmission is wasted.
+            self.stats.gossip_undeliverable += 1
+            return
+        self._store_block(block, wire.block_digest_of(frame.header))
+
+    async def _serve_pull(self, conn: FramedConnection) -> None:
+        """Answer one logging-server coupon pull.
+
+        The peer draws the segment itself (uniform over buffered blocks or
+        uniform over segments, per ``segment_selection``) — the same
+        distribution the simulator realizes by letting the server sample
+        the peer's buffer directly.
+        """
+        if self.core.is_empty:
+            await conn.send({"type": wire.MSG_PULL_EMPTY, "slot": self.slot})
+            return
+        if self.cfg.segment_selection == SELECTION_UNIFORM:
+            segment_id = self.core.sample_segment(self._select_rng)
+        else:
+            segment_id = self.core.sample_segment_proportional(self._select_rng)
+        holding = self.core.holdings[segment_id]
+        block = holding.make_coded_block(self._coding_rng, self.clock.now())
+        self.netem.maybe_pollute(self.slot, holding, block)
+        header, payload = wire.block_to_wire(
+            wire.MSG_PULL_BLOCK,
+            block,
+            self._digests.get(segment_id, ""),
+            slot=self.slot,
+        )
+        await conn.send(header, payload)
+        self.stats.pull_blocks_served += 1

@@ -1,0 +1,120 @@
+"""Port-collision-safe binding and connection helpers.
+
+Every live-runtime listener — in production code *and* in every test —
+binds to **port 0** and propagates the kernel-assigned ephemeral port, so
+parallel test runs and busy CI hosts can never collide on a hard-coded
+port.  The bounded-retry helpers below are the single shared path for the
+residual raciness that port 0 cannot remove (a listener that has not
+finished ``listen()`` by the time its first client connects).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+from typing import Any, Awaitable, Callable, Tuple
+
+#: Default bounded-retry budget for listeners and connects.
+DEFAULT_ATTEMPTS = 8
+
+#: Initial retry backoff (doubles per attempt, so the default budget waits
+#: about 6 s total before giving up).
+DEFAULT_BACKOFF = 0.05
+
+#: Errnos worth retrying on bind (another process grabbed the port between
+#: our probe and our bind — only possible with an explicit non-zero port).
+_RETRYABLE_BIND = {errno.EADDRINUSE, errno.EADDRNOTAVAIL}
+
+ClientHandler = Callable[
+    [asyncio.StreamReader, asyncio.StreamWriter], Awaitable[None]
+]
+
+
+def server_port(server: asyncio.AbstractServer) -> int:
+    """The (ephemeral) port an asyncio server actually bound."""
+    sockets = server.sockets
+    if not sockets:
+        raise RuntimeError("server has no bound sockets")
+    port = sockets[0].getsockname()[1]
+    return int(port)
+
+
+async def start_server(
+    handler: ClientHandler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    attempts: int = DEFAULT_ATTEMPTS,
+) -> Tuple[asyncio.AbstractServer, int]:
+    """Start a TCP server, retrying transient bind races; returns its port.
+
+    With the default ``port=0`` the kernel picks a free ephemeral port and
+    the first attempt virtually always succeeds; explicit ports (the
+    docker-compose topology) get the bounded retry loop.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    backoff = DEFAULT_BACKOFF
+    for attempt in range(attempts):
+        try:
+            server = await asyncio.start_server(handler, host=host, port=port)
+        except OSError as exc:
+            if exc.errno not in _RETRYABLE_BIND or attempt == attempts - 1:
+                raise
+            await asyncio.sleep(backoff)
+            backoff *= 2.0
+            continue
+        return server, server_port(server)
+    raise AssertionError("unreachable: bounded retry loop exited")
+
+
+async def connect(
+    host: str,
+    port: int,
+    attempts: int = DEFAULT_ATTEMPTS,
+    backoff: float = DEFAULT_BACKOFF,
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a TCP connection with a bounded retry budget.
+
+    Retries connection-refused/reset (the listener may still be coming up,
+    which is the one race ``port=0`` cannot close); every other error, and
+    the final attempt's error, propagate to the caller.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    delay = backoff
+    last: Exception = ConnectionError("connect() never attempted")
+    for attempt in range(attempts):
+        try:
+            return await asyncio.open_connection(host=host, port=port)
+        except (ConnectionRefusedError, ConnectionResetError, OSError) as exc:
+            last = exc
+            if attempt == attempts - 1:
+                break
+            await asyncio.sleep(delay)
+            delay *= 2.0
+    raise last
+
+
+async def close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close one stream writer, absorbing teardown races.
+
+    The peer may have closed first (connection reset) — that is a normal
+    shutdown order in a swarm, not an error.  ``wait_closed()`` is always
+    awaited so tests running with asyncio debug mode see no unclosed
+    transports.
+    """
+    try:
+        if not writer.is_closing():
+            writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, asyncio.TimeoutError, OSError):
+        pass
+
+
+def describe_endpoint(obj: Any) -> str:
+    """Best-effort ``host:port`` of a writer/socket for log messages."""
+    try:
+        host, port = obj.get_extra_info("peername")[:2]
+        return f"{host}:{port}"
+    except Exception:
+        return "<unknown>"

@@ -1,0 +1,499 @@
+"""The live logging-server process: registry, collector, and pull engine.
+
+One :class:`LiveLoggingServer` plays two roles at once:
+
+- **registry / control plane** — peers connect, HELLO, and get back a
+  WELCOME carrying the full session configuration (so standalone peer
+  processes need nothing but the server address and their slot); the
+  server broadcasts the peer DIRECTORY, the synchronized START epoch,
+  MARK/STOP window edges, and RESET frames for disconnect bursts;
+
+- **the paper's N_s collaborating logging servers** — ``n_servers``
+  concurrent pull loops share one decoder pool (pooled state is exactly
+  the paper's "collaborating servers" assumption), each drawing
+  candidates at rate ``c·N/N_s`` from the set of peers whose buffers are
+  currently non-empty, as advertised by STATUS frames.
+
+The pull path mirrors :meth:`repro.core.server.ServerPool.pull` decision
+for decision: idle when no candidate, redundant when the drawn segment is
+already decoded, in-flight loss checked once per trial before the
+pollution re-pull loop, polluted blocks detected by GF(2^8) rank (an
+all-zero coefficient header) and re-drawn within the trial's budget.
+Completed segments are actually decoded and their payload digest checked
+against the source digest — end-to-end verification the simulator cannot
+perform because it never moves real bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.coding.block import CodedBlock
+from repro.coding.rlnc import SegmentDecoder
+from repro.core.params import Parameters
+from repro.faults.plan import FaultPlan
+from repro.live import ports, wire
+from repro.live.clock import LiveClock, PoissonSchedule
+from repro.live.framing import Frame, FrameError
+from repro.live.livemetrics import CollectorStats
+from repro.live.transport import (
+    BURST_STREAM,
+    ConnectionCache,
+    FramedConnection,
+    NetemShim,
+    POLLUTER_STREAM,
+    detects_pollution,
+)
+from repro.sim.rng import SeedSequenceRegistry, exponential
+from repro.util.randomset import RandomizedSet
+
+#: Outbound pull connections cached across all pull loops.
+PULL_CACHE = 64
+
+#: Wall-clock timeout for one peer's metrics reply during collection.
+METRICS_TIMEOUT = 30.0
+
+
+class _PeerRecord:
+    """Registry entry for one connected peer."""
+
+    __slots__ = ("slot", "host", "port", "conn")
+
+    def __init__(
+        self, slot: int, host: str, port: int, conn: FramedConnection
+    ) -> None:
+        self.slot = slot
+        self.host = host
+        self.port = port
+        self.conn = conn
+
+
+class LiveLoggingServer:
+    """Registry + collector + the N_s pull loops of one live swarm."""
+
+    def __init__(
+        self,
+        params: Parameters,
+        seed: int,
+        time_scale: float = 1.0,
+        clock: Optional[LiveClock] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if params.has_adversary:
+            raise ValueError("the live runtime does not run adversary plans")
+        self.params = params
+        self.seed = seed
+        self.host = host
+        self._requested_port = port
+        self.port = 0
+        self.clock = clock if clock is not None else LiveClock(time_scale)
+        seeds = SeedSequenceRegistry(seed)
+        self._select_rng = seeds.python("live:server:select")
+        self._event_rngs = [
+            seeds.python(f"live:server{i}:events")
+            for i in range(params.n_servers)
+        ]
+        self._outage_rng = seeds.python("live:server:outages")
+        self._burst_rng = seeds.python(BURST_STREAM)
+        self.netem = NetemShim(
+            params.faults,
+            params.n_peers,
+            seeds.python(POLLUTER_STREAM),
+            seeds.python("live:server:netem"),
+        )
+        self.stats = CollectorStats()
+        self.peers: Dict[int, _PeerRecord] = {}
+        self.nonempty: RandomizedSet[int] = RandomizedSet()
+        self._decoders: Dict[int, SegmentDecoder] = {}
+        self._digests: Dict[int, str] = {}
+        self._completed: Set[int] = set()
+        self._cache = ConnectionCache(self._open_pull, PULL_CACHE)
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._tasks: List["asyncio.Task[None]"] = []
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self._metrics_futures: Dict[
+            Tuple[int, int], "asyncio.Future[Dict[str, float]]"
+        ] = {}
+        self._metrics_req = 0
+        self._next_slot = 0
+        self._peer_joined = asyncio.Event()
+        self._paused = False
+        self._resumed = asyncio.Event()
+        self._resumed.set()
+        self._pull_schedules: List[PoissonSchedule] = []
+        self.draining = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the registry listener."""
+        self._listener, self.port = await ports.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def wait_for_peers(
+        self, count: int, timeout: Optional[float] = None
+    ) -> None:
+        """Block until *count* peers have registered."""
+
+        async def _wait() -> None:
+            while len(self.peers) < count:
+                self._peer_joined.clear()
+                await self._peer_joined.wait()
+
+        if timeout is None:
+            await _wait()
+        else:
+            await asyncio.wait_for(_wait(), timeout)
+
+    async def begin(self, start_delay_wall: float = 0.5) -> None:
+        """Broadcast the directory and START, then spawn the pull engine."""
+        directory = {
+            record.slot: [record.host, record.port]
+            for record in self.peers.values()
+        }
+        await self.broadcast(
+            {"type": wire.MSG_DIRECTORY, "peers": directory}
+        )
+        if not self.clock.started:
+            loop = asyncio.get_running_loop()
+            self.clock.start(loop.time() + start_delay_wall)
+        await self.broadcast(
+            {"type": wire.MSG_START, "in": start_delay_wall}
+        )
+        spawn = asyncio.create_task
+        self._pull_schedules = [
+            PoissonSchedule(
+                self.clock, self._event_rngs[i], self.params.per_server_rate
+            )
+            for i in range(self.params.n_servers)
+        ]
+        self._tasks = [
+            spawn(self._pull_loop(i), name=f"server:pull{i}")
+            for i in range(self.params.n_servers)
+        ]
+        plan = self.netem.plan
+        if plan.outage_windows or plan.outage_rate > 0.0:
+            self._tasks.append(
+                spawn(self._outage_controller(), name="server:outages")
+            )
+        if plan.burst_rate > 0.0:
+            self._tasks.append(
+                spawn(self._burst_controller(), name="server:bursts")
+            )
+
+    async def broadcast(self, header: Dict[str, Any]) -> None:
+        """Send one control frame to every registered peer."""
+        for record in list(self.peers.values()):
+            try:
+                await record.conn.send(header)
+            except (ConnectionError, OSError):
+                pass
+
+    async def mark(self) -> None:
+        """Start the measurement window on both sides of the swarm."""
+        self.stats.begin_window(self.clock.now())
+        await self.broadcast({"type": wire.MSG_MARK})
+
+    async def stop_protocol(self) -> None:
+        """Stop the pull engine and tell peers to stop their loops."""
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        await self.broadcast({"type": wire.MSG_STOP})
+
+    async def close(self) -> None:
+        """Full teardown: pull engine, peer connections, listener."""
+        self.draining.set()
+        for task in [*self._tasks, *self._conn_tasks]:
+            task.cancel()
+        await asyncio.gather(
+            *self._tasks, *self._conn_tasks, return_exceptions=True
+        )
+        self._tasks = []
+        self._conn_tasks.clear()
+        await self._cache.close_all()
+        for record in list(self.peers.values()):
+            try:
+                await record.conn.send({"type": wire.MSG_BYE})
+            except (ConnectionError, OSError):
+                pass
+            await record.conn.close()
+        self.peers.clear()
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+
+    # -- control plane ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        conn = FramedConnection(reader, writer)
+        record: Optional[_PeerRecord] = None
+        try:
+            hello = await conn.read()
+            if hello is None or hello.type != wire.MSG_HELLO:
+                return
+            record = self._register(hello, conn)
+            await conn.send({
+                "type": wire.MSG_WELCOME,
+                "slot": record.slot,
+                "seed": self.seed,
+                "time_scale": self.clock.time_scale,
+                "params": wire.params_to_wire(self.params),
+            })
+            self._peer_joined.set()
+            while True:
+                frame = await conn.read()
+                if frame is None or frame.type == wire.MSG_BYE:
+                    break
+                self._handle_peer_frame(record, frame)
+        except (FrameError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Teardown cancels handler tasks; swallow so the streams
+            # machinery sees a clean exit, not an unhandled cancellation.
+            pass
+        finally:
+            if record is not None and self.peers.get(record.slot) is record:
+                del self.peers[record.slot]
+                self.nonempty.discard(record.slot)
+            try:
+                await conn.close()
+            except asyncio.CancelledError:
+                pass
+            # Deregister only after the transport is down: close() gathers
+            # this set, so a task must stay visible until fully drained.
+            self._conn_tasks.discard(task)
+
+    def _register(self, hello: Frame, conn: FramedConnection) -> _PeerRecord:
+        slot = hello.header.get("slot")
+        if slot is None:
+            slot = self._next_slot
+        slot = int(slot)
+        self._next_slot = max(self._next_slot, slot + 1)
+        if not 0 <= slot < self.params.n_peers:
+            raise FrameError(f"slot {slot} out of range")
+        record = _PeerRecord(
+            slot, str(hello.header["host"]), int(hello.header["port"]), conn
+        )
+        self.peers[slot] = record
+        return record
+
+    def _handle_peer_frame(self, record: _PeerRecord, frame: Frame) -> None:
+        kind = frame.type
+        if kind == wire.MSG_STATUS:
+            if frame.header.get("nonempty", False):
+                self.nonempty.add(record.slot)
+            else:
+                self.nonempty.discard(record.slot)
+        elif kind == wire.MSG_METRICS_REPLY:
+            key = (record.slot, int(frame.header.get("req", -1)))
+            future = self._metrics_futures.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result(dict(frame.header["stats"]))
+
+    async def request_metrics(self, slot: int) -> Dict[str, float]:
+        """Ask one peer for its measurement-window stats."""
+        record = self.peers[slot]
+        self._metrics_req += 1
+        req = self._metrics_req
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, float]]" = loop.create_future()
+        self._metrics_futures[(slot, req)] = future
+        await record.conn.send({"type": wire.MSG_METRICS, "req": req})
+        try:
+            return await asyncio.wait_for(future, METRICS_TIMEOUT)
+        finally:
+            self._metrics_futures.pop((slot, req), None)
+
+    # -- pull engine --------------------------------------------------------
+
+    async def _open_pull(self, slot: int) -> FramedConnection:
+        record = self.peers.get(slot)
+        if record is None:
+            raise ConnectionError(f"no registered peer in slot {slot}")
+        return await FramedConnection.open(record.host, record.port, attempts=2)
+
+    async def _pull_loop(self, index: int) -> None:
+        schedule = self._pull_schedules[index]
+        while True:
+            await schedule.wait()
+            if self._paused:
+                await self._resumed.wait()
+                continue
+            # Timestamp with the realized clock reading (see the peer's
+            # injection loop): delays compare actual times on both ends.
+            await self._pull_once(self.clock.now())
+
+    async def _fetch_candidate(
+        self,
+    ) -> Optional[Tuple[int, CodedBlock, str]]:
+        """Draw one non-empty peer and pull a coded block from it.
+
+        Returns ``None`` when there is no candidate (idle pull) — either no
+        peer advertises a non-empty buffer, or the drawn peer emptied /
+        died between advertisement and service (a race the simulator's
+        atomic transfers cannot exhibit; counted as idle).
+        """
+        if not self.nonempty:
+            return None
+        slot = self.nonempty.sample(self._select_rng)
+        try:
+            conn = await self._cache.get(slot)
+            reply = await conn.request({"type": wire.MSG_PULL})
+        except (ConnectionError, FrameError, OSError):
+            await self._cache.drop(slot)
+            self.stats.pull_empty_races += 1
+            return None
+        if reply.type == wire.MSG_PULL_EMPTY:
+            self.nonempty.discard(slot)
+            self.stats.pull_empty_races += 1
+            return None
+        if reply.type != wire.MSG_PULL_BLOCK:
+            await self._cache.drop(slot)
+            self.stats.pull_empty_races += 1
+            return None
+        block = wire.block_from_wire(reply.header, reply.payload)
+        return slot, block, wire.block_digest_of(reply.header)
+
+    async def _pull_once(self, now: float) -> None:
+        """One pull trial; mirrors ``ServerPool.pull`` decision-for-decision."""
+        stats = self.stats
+        stats.pulls += 1
+        candidate = await self._fetch_candidate()
+        if candidate is None:
+            stats.idle_pulls += 1
+            return
+        _, block, digest = candidate
+        if block.segment.segment_id in self._completed:
+            stats.redundant_pulls += 1
+            return
+        if self.netem.drop_pull():
+            # In-flight loss: checked once per trial, before any re-pulls,
+            # exactly like the simulator.
+            stats.transfers_dropped += 1
+            return
+        attempts = (
+            1 + self.netem.plan.pollution_repull_budget
+            if self.netem.polluters
+            else 1
+        )
+        for _ in range(attempts):
+            if detects_pollution(block):
+                stats.blocks_rejected_polluted += 1
+                candidate = await self._fetch_candidate()
+                if candidate is None:
+                    stats.idle_pulls += 1
+                    return
+                _, block, digest = candidate
+                if block.segment.segment_id in self._completed:
+                    stats.redundant_pulls += 1
+                    return
+                continue
+            self._ingest(block, digest, now)
+            return
+        # Budget exhausted on junk: the trial ends unproductive.
+        stats.redundant_pulls += 1
+
+    def _ingest(self, block: CodedBlock, digest: str, now: float) -> None:
+        """Feed one clean block to the pooled decoder state."""
+        segment_id = block.segment.segment_id
+        decoder = self._decoders.get(segment_id)
+        if decoder is None:
+            decoder = SegmentDecoder(block.segment)
+            self._decoders[segment_id] = decoder
+        if digest:
+            self._digests.setdefault(segment_id, digest)
+        innovative = decoder.offer(block, now)
+        if not innovative:
+            self.stats.redundant_pulls += 1
+            return
+        self.stats.useful_pulls += 1
+        if decoder.is_complete:
+            self._completed.add(segment_id)
+            self.stats.on_segment_completed(
+                now, block.segment.injected_at, block.segment.size
+            )
+            self._verify(segment_id, decoder)
+            # Decoded segments' state is no longer needed; keep memory flat.
+            del self._decoders[segment_id]
+
+    def _verify(self, segment_id: int, decoder: SegmentDecoder) -> None:
+        """End-to-end check: decoded payload vs the source digest."""
+        expected = self._digests.pop(segment_id, "")
+        if not expected:
+            return
+        rows = decoder.decode()
+        if wire.payload_digest(rows.tobytes()) == expected:
+            self.stats.hash_verified += 1
+        else:
+            self.stats.hash_failures += 1
+
+    # -- fault controllers ---------------------------------------------------
+
+    async def _outage_controller(self) -> None:
+        """Drive server outages: scheduled windows or the renewal process."""
+        plan = self.netem.plan
+        if plan.outage_windows:
+            for start, end in plan.outage_windows:
+                await self.clock.sleep_until(start)
+                await self._enter_outage(end - start)
+            return
+        while True:
+            gap = exponential(self._outage_rng, plan.outage_rate)
+            await self.clock.sleep_sim(gap)
+            await self._enter_outage(plan.outage_duration)
+
+    async def _enter_outage(self, duration: float) -> None:
+        """All servers blackhole for *duration* sim units, then catch up."""
+        if duration <= 0:
+            return
+        self._paused = True
+        self._resumed.clear()
+        self.stats.servers_down.update(self.clock.now(), 1.0)
+        await self.clock.sleep_sim(duration)
+        now = self.clock.now()
+        self.stats.servers_down.update(now, 0.0)
+        catchup = min(
+            int(duration * self.params.per_server_rate),
+            self.netem.plan.catchup_limit,
+        )
+        # Push every pull clock past the outage so the backlog does not
+        # drain as an unbounded burst; the bounded catch-up below is the
+        # only compensation, exactly like the simulator.
+        for schedule in self._pull_schedules:
+            schedule.defer(duration)
+        self._paused = False
+        self._resumed.set()
+        # Burn down the backlog: the same bounded catch-up burst the
+        # simulator schedules at resume time.
+        for _ in range(self.params.n_servers):
+            for _ in range(catchup):
+                await self._pull_once(self.clock.now())
+
+    async def _burst_controller(self) -> None:
+        """Correlated departures: RESET a random cohort of peers."""
+        plan = self.netem.plan
+        while True:
+            gap = exponential(self._burst_rng, plan.burst_rate)
+            await self.clock.sleep_sim(gap)
+            slots = self.netem.sample_burst_slots(self._burst_rng)
+            self.stats.burst_departures += len(slots)
+            for slot in slots:
+                self.nonempty.discard(slot)
+                await self._cache.drop(slot)
+                record = self.peers.get(slot)
+                if record is not None:
+                    try:
+                        await record.conn.send({"type": wire.MSG_RESET})
+                    except (ConnectionError, OSError):
+                        pass

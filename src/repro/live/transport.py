@@ -1,0 +1,268 @@
+"""Framed TCP connections, connection caching, and the netem fault shim.
+
+:class:`FramedConnection` wraps one asyncio stream pair with the frame
+codec and a write lock, so concurrent tasks can share a connection without
+interleaving frames; :meth:`FramedConnection.request` additionally holds
+the lock across a send+receive pair for strict request/response exchanges
+(OFFER -> OFFER-REPLY, PULL -> PULL-BLOCK).
+
+:class:`ConnectionCache` is a small LRU of outbound connections.  A
+thousand-peer single-box swarm cannot afford a persistent clique (O(N^2)
+sockets); with a per-peer cache of a few entries the file-descriptor count
+stays linear in N while hot gossip pairs still reuse their connection.
+
+:class:`NetemShim` maps a :class:`FaultPlan` onto transport behavior — the
+same plans drive simulation and live runs:
+
+=====================  ====================================================
+FaultPlan channel      live transport behavior
+=====================  ====================================================
+gossip_loss_rate       receiver drops the BLOCK frame after transfer
+pull_loss_rate         collector discards the PULL-BLOCK reply in flight
+pollution_fraction     polluter peers zero the GF(256) coefficient header
+                       of every block they emit (detectably junk)
+outage_*               collector pull clocks blackhole (pause + catch-up)
+burst_rate/fraction    server RESETs a random peer cohort: buffers wiped,
+                       connections torn down mid-stream
+=====================  ====================================================
+
+Polluter-slot sampling reuses the simulator's exact count formula and
+sample call against the dedicated swarm-wide :data:`POLLUTER_STREAM`
+substream, so every process of a live swarm — peers and servers alike —
+derives the *same* polluter set from the root seed alone.  (The event
+simulator draws its set from its own ``"faults"`` substream, so the sets
+are equal in size and law but not slot-for-slot identical across
+engines.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import OrderedDict
+from typing import Any, Awaitable, Callable, FrozenSet, Mapping, Optional, Tuple
+
+from repro.coding.block import CodedBlock
+from repro.core.peer import SegmentHolding
+from repro.faults.injector import corrupt_block
+from repro.faults.plan import FaultPlan
+from repro.live import ports
+from repro.live.framing import Frame, FrameError, read_frame, write_frame
+
+
+class FramedConnection:
+    """One framed TCP stream with serialized writes and request pairing."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    @classmethod
+    async def open(
+        cls, host: str, port: int, attempts: int = ports.DEFAULT_ATTEMPTS
+    ) -> "FramedConnection":
+        """Connect with the shared bounded-retry helper."""
+        reader, writer = await ports.connect(host, port, attempts=attempts)
+        return cls(reader, writer)
+
+    @property
+    def is_closing(self) -> bool:
+        """True once the underlying transport is going away."""
+        return self._writer.is_closing()
+
+    async def send(
+        self, header: Mapping[str, Any], payload: bytes = b""
+    ) -> None:
+        """Send one frame (writes from concurrent tasks never interleave)."""
+        async with self._lock:
+            await write_frame(self._writer, header, payload)
+            self.frames_sent += 1
+
+    async def read(self) -> Optional[Frame]:
+        """Read the next frame; ``None`` on clean EOF."""
+        frame = await read_frame(self._reader)
+        if frame is not None:
+            self.frames_received += 1
+        return frame
+
+    async def request(
+        self, header: Mapping[str, Any], payload: bytes = b""
+    ) -> Frame:
+        """Send one frame and read its reply atomically.
+
+        The connection lock spans the exchange, so concurrent requesters
+        cannot pair their request with someone else's response.  EOF in
+        place of a reply raises :class:`ConnectionResetError` (the caller
+        treats it like any dead connection).
+        """
+        async with self._lock:
+            await write_frame(self._writer, header, payload)
+            self.frames_sent += 1
+            frame = await read_frame(self._reader)
+            if frame is None:
+                raise ConnectionResetError(
+                    "connection closed while awaiting a reply"
+                )
+            self.frames_received += 1
+            return frame
+
+    async def close(self) -> None:
+        """Close the transport (idempotent, absorbs teardown races)."""
+        await ports.close_writer(self._writer)
+
+    def __repr__(self) -> str:
+        return f"FramedConnection({ports.describe_endpoint(self._writer)})"
+
+
+#: Factory used by the cache to open a missing connection.
+ConnectionFactory = Callable[[int], Awaitable[FramedConnection]]
+
+
+class ConnectionCache:
+    """LRU cache of outbound framed connections, keyed by peer slot."""
+
+    def __init__(self, factory: ConnectionFactory, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"cache limit must be >= 1, got {limit}")
+        self._factory = factory
+        self._limit = limit
+        self._connections: "OrderedDict[int, FramedConnection]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._connections)
+
+    async def get(self, slot: int) -> FramedConnection:
+        """Return a live cached connection to *slot*, opening if needed."""
+        conn = self._connections.get(slot)
+        if conn is not None:
+            if not conn.is_closing:
+                self._connections.move_to_end(slot)
+                return conn
+            del self._connections[slot]
+            await conn.close()
+        conn = await self._factory(slot)
+        self._connections[slot] = conn
+        if len(self._connections) > self._limit:
+            _, evicted = self._connections.popitem(last=False)
+            await evicted.close()
+        return conn
+
+    async def drop(self, slot: int) -> None:
+        """Discard the cached connection to *slot* (it died mid-use)."""
+        conn = self._connections.pop(slot, None)
+        if conn is not None:
+            await conn.close()
+
+    async def close_all(self) -> None:
+        """Tear down every cached connection."""
+        connections = list(self._connections.values())
+        self._connections.clear()
+        for conn in connections:
+            await conn.close()
+
+
+#: Substream names shared by every process of a swarm, so each samples the
+#: identical polluter set / burst cohort sequence from the same root seed.
+POLLUTER_STREAM = "live:polluters"
+BURST_STREAM = "live:bursts"
+
+
+class NetemShim:
+    """Transport-level realization of a :class:`FaultPlan` (see module doc).
+
+    *shared_rng* must come from the swarm-wide :data:`POLLUTER_STREAM`
+    substream (sampled exactly once, at construction); *event_rng* is the
+    caller's own substream for per-event loss draws, so two endpoints never
+    consume each other's randomness.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan],
+        n_slots: int,
+        shared_rng: random.Random,
+        event_rng: random.Random,
+    ) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self._n_slots = n_slots
+        self._event_rng = event_rng
+        self.polluters: FrozenSet[int] = self._sample_polluters(shared_rng)
+
+    def _sample_polluters(self, rng: random.Random) -> FrozenSet[int]:
+        # Mirrors FaultInjector._sample_polluters exactly (same count
+        # formula, same sample call) so sim and live corrupt the same slots.
+        fraction = self.plan.pollution_fraction
+        if fraction <= 0.0:
+            return frozenset()
+        count = min(self._n_slots, max(1, round(fraction * self._n_slots)))
+        return frozenset(rng.sample(range(self._n_slots), count))
+
+    # -- per-event queries (zero-knob cases never touch the RNG) ------------
+
+    def drop_gossip(self) -> bool:
+        """One in-flight gossip BLOCK is lost on the lossy link."""
+        p = self.plan.gossip_loss_rate
+        return p > 0.0 and self._event_rng.random() < p
+
+    def drop_pull(self) -> bool:
+        """One PULL-BLOCK reply is lost on the lossy link."""
+        p = self.plan.pull_loss_rate
+        return p > 0.0 and self._event_rng.random() < p
+
+    def is_polluter(self, slot: int) -> bool:
+        """True when *slot* is a configured polluter."""
+        return slot in self.polluters
+
+    def pollutes(self, slot: int, holding: SegmentHolding) -> bool:
+        """True when an emission from *holding* at *slot* is corrupted.
+
+        Same contamination rule as the simulator: polluter slots corrupt
+        everything they emit, and any re-encoding over a holding that
+        already contains junk is junk.
+        """
+        if not self.polluters:
+            return False
+        return slot in self.polluters or holding.polluted_count > 0
+
+    def maybe_pollute(
+        self, slot: int, holding: SegmentHolding, block: CodedBlock
+    ) -> bool:
+        """Corrupt *block* in place when its emission is polluted."""
+        if self.pollutes(slot, holding):
+            corrupt_block(block)
+            return True
+        return False
+
+    # -- correlated-churn bursts (server-driven) ----------------------------
+
+    def burst_size(self) -> int:
+        """Slots reset per burst event (at least one, at most all)."""
+        return min(
+            self._n_slots,
+            max(1, round(self.plan.burst_fraction * self._n_slots)),
+        )
+
+    def sample_burst_slots(self, rng: random.Random) -> Tuple[int, ...]:
+        """Draw one burst cohort (server-side, from the burst substream)."""
+        return tuple(rng.sample(range(self._n_slots), self.burst_size()))
+
+
+def detects_pollution(block: CodedBlock) -> bool:
+    """Collector-side pollution detection: an all-zero coefficient header.
+
+    This is the *real* detection the simulator's RLNC mode models — a
+    zeroed header can never be innovative under GF(2^8) rank arithmetic —
+    done cheaply before the decoder is touched.  The wire ``polluted`` tag
+    is carried for accounting cross-checks but is deliberately not trusted.
+    """
+    return block.coefficients is not None and not block.coefficients.any()
+
+
+def null_plan_is_neutral(plan: Optional[FaultPlan]) -> bool:
+    """True when *plan* configures no fault channel at all."""
+    return plan is None or plan.is_null

@@ -1,0 +1,170 @@
+"""Live-runtime message catalog and object <-> frame serialization.
+
+Frames (:mod:`repro.live.framing`) carry a JSON header plus opaque payload
+bytes; this module defines what goes in them:
+
+Control plane (peer <-> server registry connection, full duplex)
+    ``hello`` -> ``welcome``  registration (the WELCOME carries the full
+    session configuration, so standalone peers need no local flags),
+    ``directory``, ``start``, ``mark``, ``stop``, ``reset``, ``bye``
+    downstream; ``status`` and ``metrics-reply`` upstream; ``metrics``
+    downstream requests one ``metrics-reply``.
+
+Data plane (peer <-> peer, server -> peer)
+    ``offer`` -> ``offer-reply`` -> ``block`` implements one gossip
+    transfer (the OFFER round-trip realizes the simulator's
+    rejection-sampled target eligibility check over the wire);
+    ``pull`` -> ``pull-block`` | ``pull-empty`` implements one logging
+    -server coupon pull.
+
+Coded blocks travel with their GF(256) coefficient header and coded
+payload as raw bytes (never through JSON) plus the segment descriptor and
+the source segment's payload digest, so any collector can verify a decoded
+segment end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.block import CodedBlock, SegmentDescriptor
+from repro.core.params import Parameters
+from repro.faults.plan import FaultPlan
+from repro.live.framing import FrameGarbage
+
+# -- control plane ----------------------------------------------------------
+MSG_HELLO = "hello"
+MSG_WELCOME = "welcome"
+MSG_DIRECTORY = "directory"
+MSG_START = "start"
+MSG_MARK = "mark"
+MSG_STOP = "stop"
+MSG_RESET = "reset"
+MSG_BYE = "bye"
+MSG_STATUS = "status"
+MSG_METRICS = "metrics"
+MSG_METRICS_REPLY = "metrics-reply"
+
+# -- data plane -------------------------------------------------------------
+MSG_OFFER = "offer"
+MSG_OFFER_REPLY = "offer-reply"
+MSG_BLOCK = "block"
+MSG_PULL = "pull"
+MSG_PULL_BLOCK = "pull-block"
+MSG_PULL_EMPTY = "pull-empty"
+
+
+def payload_digest(data: bytes) -> str:
+    """Short content digest used for end-to-end decode verification."""
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def block_to_wire(
+    msg_type: str, block: CodedBlock, digest: str, **extra: Any
+) -> Tuple[Dict[str, Any], bytes]:
+    """Serialize one RLNC coded block to a (header, payload) frame pair.
+
+    The payload is the s-byte coefficient vector followed by the coded
+    payload row; the header carries the segment descriptor, timestamps, and
+    the segment's original-payload *digest* (so collectors can verify their
+    reconstruction against the source without ever seeing it).
+    """
+    if block.coefficients is None or block.payload is None:
+        raise ValueError(
+            "live transport requires RLNC blocks with explicit "
+            "coefficients and payload (mode='rlnc', payload_bytes > 0)"
+        )
+    segment = block.segment
+    header: Dict[str, Any] = {
+        "type": msg_type,
+        "segment": {
+            "segment_id": segment.segment_id,
+            "source_peer": segment.source_peer,
+            "size": segment.size,
+            "injected_at": segment.injected_at,
+            "generation": segment.generation,
+        },
+        "created_at": block.created_at,
+        "polluted": bool(block.polluted),
+        "digest": digest,
+        **extra,
+    }
+    payload = block.coefficients.tobytes() + block.payload.tobytes()
+    return header, payload
+
+
+def block_from_wire(header: Mapping[str, Any], payload: bytes) -> CodedBlock:
+    """Reconstruct a :class:`CodedBlock` from a received frame.
+
+    Malformed segment metadata or a payload shorter than the declared
+    coefficient vector raises :class:`FrameGarbage` (a protocol error the
+    reader surfaces cleanly, never an index crash deeper in the stack).
+    """
+    try:
+        raw = header["segment"]
+        segment = SegmentDescriptor(
+            segment_id=int(raw["segment_id"]),
+            source_peer=int(raw["source_peer"]),
+            size=int(raw["size"]),
+            injected_at=float(raw["injected_at"]),
+            generation=int(raw["generation"]),
+        )
+        created_at = float(header["created_at"])
+        polluted = bool(header["polluted"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FrameGarbage(f"malformed block header: {exc}") from exc
+    if len(payload) <= segment.size:
+        raise FrameGarbage(
+            f"block payload is {len(payload)} byte(s), need more than the "
+            f"{segment.size}-byte coefficient vector"
+        )
+    coefficients = np.frombuffer(payload[: segment.size], dtype=np.uint8).copy()
+    data = np.frombuffer(payload[segment.size :], dtype=np.uint8).copy()
+    return CodedBlock(
+        segment=segment,
+        coefficients=coefficients,
+        payload=data,
+        created_at=created_at,
+        polluted=polluted,
+    )
+
+
+def block_digest_of(header: Mapping[str, Any]) -> str:
+    """The segment payload digest carried in a block frame header."""
+    value = header.get("digest", "")
+    return value if isinstance(value, str) else ""
+
+
+def params_to_wire(params: Parameters) -> Dict[str, Any]:
+    """Serialize :class:`Parameters` for the WELCOME frame.
+
+    The live runtime reuses ``Parameters`` and ``FaultPlan`` verbatim; the
+    Byzantine adversary plans and server-side defense knobs are
+    simulation-only and rejected here rather than silently dropped.
+    """
+    if params.adversary is not None:
+        raise ValueError(
+            "the live runtime does not run adversary plans; strip the "
+            "AdversaryPlan before serving"
+        )
+    payload = dataclasses.asdict(params)
+    return payload
+
+
+def params_from_wire(payload: Mapping[str, Any]) -> Parameters:
+    """Reconstruct :class:`Parameters` from a WELCOME frame header."""
+    data = dict(payload)
+    faults = data.get("faults")
+    if faults is not None:
+        faults = dict(faults)
+        windows = faults.get("outage_windows") or ()
+        faults["outage_windows"] = tuple(
+            (float(start), float(end)) for start, end in windows
+        )
+        data["faults"] = FaultPlan(**faults)
+    data.pop("adversary", None)
+    return Parameters(**data)

@@ -74,6 +74,19 @@ class TestExamplesRun:
         assert "server downtime" in out
         assert "consistency check: OK" in out
 
+    def test_live_swarm(self, capsys):
+        module = load_example("live_swarm")
+        module.PARAMS = shrink(module.PARAMS, n_peers=12)
+        module.WARMUP = 2.0
+        module.DURATION = 5.0
+        module.TIME_SCALE = 4.0
+        module.SIM_WINDOW = (6.0, 12.0)
+        module.main()
+        out = capsys.readouterr().out
+        assert "live swarm:" in out
+        assert "hash-verified" in out
+        assert "cross-validation" in out
+
     def test_trace_segment_life(self, capsys):
         module = load_example("trace_segment_life")
         module.PARAMS = shrink(module.PARAMS)
