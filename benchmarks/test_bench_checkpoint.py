@@ -1,0 +1,159 @@
+"""Microbenchmarks of the collector's crash-recovery path.
+
+What a deployer asks before enabling checkpointing: how much does one
+periodic journal write cost (the per-interval tax while healthy), how
+fast does a restarted server get its decode state back (the downtime
+term the supervised restart pays on top of process spawn), and what the
+no-checkpoint configuration pays (nothing — the guard is one attribute
+test, benchmarked to keep it honest).
+
+Shape: 32 in-flight decoders of s=16 segments with 64-byte rows — a
+mid-size collection window's worth of accumulated rank.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+
+from repro.coding.block import SegmentDescriptor
+from repro.coding.rlnc import SegmentDecoder, encode_from_source
+from repro.core.params import Parameters
+from repro.live.checkpoint import (
+    ServerCheckpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.live.server import LiveLoggingServer
+
+N_DECODERS = 32
+SEGMENT_SIZE = 16
+PAYLOAD_BYTES = 64
+
+
+def _mid_window_state(rng):
+    """A checkpoint with every decoder one block short of completion."""
+    decoders = []
+    sources = []
+    total_rank = 0
+    for index in range(N_DECODERS):
+        segment = SegmentDescriptor(
+            segment_id=index,
+            source_peer=index % 8,
+            size=SEGMENT_SIZE,
+            injected_at=0.5,
+            generation=0,
+        )
+        rows = np.array(
+            [
+                [rng.randrange(256) for _ in range(PAYLOAD_BYTES)]
+                for _ in range(SEGMENT_SIZE)
+            ],
+            dtype=np.uint8,
+        )
+        decoder = SegmentDecoder(segment)
+        while decoder.rank < SEGMENT_SIZE - 1:
+            decoder.offer(encode_from_source(segment, rows, rng), 1.0)
+        total_rank += decoder.rank
+        decoders.append(decoder.snapshot())
+        sources.append((segment, rows))
+    state = ServerCheckpoint(
+        seed=1,
+        restarts=0,
+        time_scale=1.0,
+        epoch=100.0,
+        marked_at=2.0,
+        next_slot=64,
+        written_at=5.0,
+        completed=(),
+        digests={},
+        counters={"blocks_received": N_DECODERS * (SEGMENT_SIZE - 1)},
+        delay_samples=(),
+        servers_down={
+            "value": 0.0,
+            "last_time": 5.0,
+            "integral": 0.0,
+            "window_start": 2.0,
+        },
+        total_rank=total_rank,
+        decoders=tuple(decoders),
+    )
+    return state, sources
+
+
+def test_bench_checkpoint_write(benchmark, tmp_path):
+    """One periodic journal write (32 decoders, s=16, 64 B rows)."""
+    state, _ = _mid_window_state(random.Random(1))
+    path = tmp_path / "server.ckpt"
+    benchmark(write_checkpoint, path, state)
+    assert path.exists()
+
+
+def test_bench_checkpoint_reload(benchmark, tmp_path):
+    """Parse + validate one journal (the restart's first disk read)."""
+    state, _ = _mid_window_state(random.Random(2))
+    path = tmp_path / "server.ckpt"
+    write_checkpoint(path, state)
+    restored = benchmark(load_checkpoint, path)
+    assert restored.total_rank == state.total_rank
+
+
+def test_bench_restart_to_first_block(benchmark, tmp_path):
+    """Journal -> working decoder pool -> first post-restart block decoded.
+
+    The in-memory critical path of a supervised restart (process spawn
+    and TCP re-registration excluded): reload the journal, rebuild every
+    ``SegmentDecoder``, and prove the pool is live by offering the one
+    block that completes the first segment.
+    """
+    rng = random.Random(3)
+    state, sources = _mid_window_state(rng)
+    path = tmp_path / "server.ckpt"
+    write_checkpoint(path, state)
+    segment, rows = sources[0]
+    closing_block = encode_from_source(segment, rows, rng, created_at=6.0)
+
+    def restart():
+        restored = load_checkpoint(path)
+        pool = {
+            snap.segment.segment_id: SegmentDecoder.from_snapshot(snap)
+            for snap in restored.decoders
+        }
+        first = pool[segment.segment_id]
+        first.offer(closing_block, 7.0)
+        return first
+
+    first = benchmark(restart)
+    assert first.is_complete
+    np.testing.assert_array_equal(first.decode(), rows)
+
+
+def test_bench_no_checkpoint_path_is_free(benchmark):
+    """``write_checkpoint_now`` without a configured path: one guard test.
+
+    The healthy-path neutrality claim — a server run without
+    ``--checkpoint`` must pay nothing for the feature existing.
+    """
+    params = Parameters(
+        n_peers=8,
+        arrival_rate=0.5,
+        gossip_rate=2.0,
+        deletion_rate=0.25,
+        normalized_capacity=1.0,
+        segment_size=2,
+        n_servers=2,
+        mode="rlnc",
+        payload_bytes=32,
+    )
+
+    async def build():
+        return LiveLoggingServer(params, seed=1)
+
+    server = asyncio.new_event_loop().run_until_complete(build())
+
+    def noop_write():
+        for _ in range(1000):
+            server.write_checkpoint_now()
+
+    benchmark(noop_write)
+    assert server.checkpoint_writes == 0

@@ -47,6 +47,7 @@ TABLE_TITLES = {
     "ADVERSARY_TABLE": r"^Adversary — Byzantine strategies",
     "SCALE_TABLE": r"^E-SCALE —",
     "LIVE_TABLE": r"^E-LIVE —",
+    "LIVE_CHAOS_TABLE": r"^E-LIVE-CHAOS —",
 }
 
 

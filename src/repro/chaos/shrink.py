@@ -38,6 +38,7 @@ _CHANNEL_GROUPS: Tuple[Tuple[str, ...], ...] = (
     ("pollution_fraction", "pollution_repull_budget"),
     ("outage_windows", "outage_rate", "outage_duration", "catchup_limit"),
     ("burst_rate", "burst_fraction"),
+    ("process_faults", "process_restart_latency"),
 )
 
 
@@ -115,6 +116,17 @@ def _candidates(config: TrialConfig) -> Iterator[TrialConfig]:
                 }
                 if reduced:
                     yield replace(config, adversary=reduced)
+    # 1c. Drop process-fault events one at a time (the whole-channel cut
+    # above handles the all-of-them case).
+    events = config.plan.get("process_faults") or []
+    if len(events) > 1:
+        for index in range(len(events)):
+            reduced_events = [
+                event for j, event in enumerate(events) if j != index
+            ]
+            yield _with_plan(
+                config, {**config.plan, "process_faults": reduced_events}
+            )
     # 2. Collapse protocol knobs back to the paper's defaults.
     params = config.params
     for defense in ("pull_scoring", "advert_discounting"):

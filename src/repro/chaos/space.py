@@ -69,6 +69,12 @@ class TrialConfig:
             kwargs["outage_windows"] = tuple(
                 (float(start), float(end)) for start, end in windows
             )
+        process_faults = kwargs.pop("process_faults", None)
+        if process_faults:
+            kwargs["process_faults"] = tuple(
+                (str(kind), float(at), float(duration), float(fraction))
+                for kind, at, duration, fraction in process_faults
+            )
         return FaultPlan(**kwargs)
 
     def build_adversary_plan(self) -> Optional[AdversaryPlan]:
@@ -294,6 +300,42 @@ class PlanSpace:
                 1.0  # a burst that kills the entire population
                 if rng.random() < extreme
                 else round(rng.uniform(0.05, 1.0), 6)
+            )
+        # Process faults compose with every channel except the outage ones
+        # (FaultPlan forbids overlapping server-down sources, so the two
+        # outage-style channels are sampled mutually exclusively).
+        if (
+            "outage_windows" not in plan
+            and "outage_rate" not in plan
+            and rng.random() < active
+        ):
+            faults: List[List[Any]] = []
+            if rng.random() < 0.7:
+                kind = rng.choice(["kill-server", "stop-server"])
+                at = round(rng.uniform(0.0, horizon * 0.6), 6)
+                duration = (
+                    0.0
+                    if kind == "kill-server"
+                    else round(rng.uniform(0.1, max(horizon / 4.0, 0.2)), 6)
+                )
+                faults.append([kind, at, duration, 0.0])
+            if rng.random() < 0.6 or not faults:
+                kind = rng.choice(["kill-peers", "stop-peers"])
+                at = round(rng.uniform(0.0, horizon * 0.8), 6)
+                duration = (
+                    0.0
+                    if kind == "kill-peers"
+                    else round(rng.uniform(0.1, max(horizon / 4.0, 0.2)), 6)
+                )
+                fraction = (
+                    1.0  # take out every peer process at once
+                    if rng.random() < extreme
+                    else round(rng.uniform(0.05, 1.0), 6)
+                )
+                faults.append([kind, at, duration, fraction])
+            plan["process_faults"] = faults
+            plan["process_restart_latency"] = round(
+                rng.uniform(0.1, max(horizon / 4.0, 0.3)), 6
             )
         return plan
 

@@ -58,6 +58,7 @@ from repro.experiments import (
     run_fig5,
     run_fig6,
     run_live,
+    run_live_chaos,
     run_robustness,
     run_scale,
     run_scheduler_ablation,
@@ -80,6 +81,7 @@ RUNNERS: Dict[str, Callable[..., SeriesResult]] = {
     "adversary": run_adversary,
     "scale": run_scale,
     "live": run_live,
+    "live-chaos": run_live_chaos,
     "ablation-ttl": run_ttl_ablation,
     "ablation-buffer": run_buffer_ablation,
     "ablation-selection": run_selection_ablation,

@@ -26,12 +26,32 @@ byte-identical.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.coding import gf256
 from repro.coding.gf256 import Vector, VectorLike
+
+
+@dataclass(frozen=True)
+class DecoderSnapshot:
+    """Bit-exact serialized state of an :class:`IncrementalDecoder`.
+
+    The live checkpoint layer persists these across server restarts; the
+    round-trip contract is that ``IncrementalDecoder.from_snapshot(d.snapshot())``
+    reproduces rank, pivot columns, the reduced coefficient rows, and the
+    payload rows byte for byte (the restart-loses-no-rank property test
+    pins this down).
+    """
+
+    size: int
+    payload_length: Optional[int]
+    pivot_cols: Tuple[int, ...]
+    has_payload: Tuple[bool, ...]
+    matrix_rows: bytes
+    payload_rows: bytes
 
 
 def _as_matrix(matrix: VectorLike) -> Vector:
@@ -227,6 +247,71 @@ class IncrementalDecoder:
     def coefficient_matrix(self) -> Vector:
         """Copy of the current reduced coefficient rows (for inspection)."""
         return self._matrix[: self._rank].copy()
+
+    def snapshot(self) -> DecoderSnapshot:
+        """Serialize the live rows to a :class:`DecoderSnapshot`."""
+        r = self._rank
+        payload_rows = b""
+        if self._payload_matrix is not None:
+            payload_rows = self._payload_matrix[:r].tobytes()
+        return DecoderSnapshot(
+            size=self.size,
+            payload_length=self.payload_length,
+            pivot_cols=tuple(self._pivot_cols),
+            has_payload=tuple(bool(flag) for flag in self._has_payload[:r]),
+            matrix_rows=self._matrix[:r].tobytes(),
+            payload_rows=payload_rows,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snap: DecoderSnapshot) -> "IncrementalDecoder":
+        """Rebuild a decoder whose state is byte-identical to the snapshot."""
+        decoder = cls(snap.size, snap.payload_length)
+        r = len(snap.pivot_cols)
+        if r > snap.size:
+            raise ValueError(
+                f"snapshot rank {r} exceeds segment size {snap.size}"
+            )
+        if len(snap.has_payload) != r:
+            raise ValueError(
+                f"snapshot has {len(snap.has_payload)} payload flags "
+                f"for rank {r}"
+            )
+        if len(snap.matrix_rows) != r * snap.size:
+            raise ValueError(
+                f"snapshot matrix is {len(snap.matrix_rows)} byte(s), "
+                f"expected {r * snap.size}"
+            )
+        if r:
+            decoder._matrix[:r] = np.frombuffer(
+                snap.matrix_rows, dtype=np.uint8
+            ).reshape(r, snap.size)
+            decoder._pivot_cols = list(snap.pivot_cols)
+            decoder._pivot_array[:r] = np.asarray(
+                snap.pivot_cols, dtype=np.intp
+            )
+            decoder._has_payload[:r] = snap.has_payload
+            decoder._rank = r
+        if snap.payload_rows:
+            length = snap.payload_length
+            if length is None or length <= 0:
+                raise ValueError(
+                    "snapshot carries payload rows without a payload_length"
+                )
+            if len(snap.payload_rows) != r * length:
+                raise ValueError(
+                    f"snapshot payloads are {len(snap.payload_rows)} "
+                    f"byte(s), expected {r * length}"
+                )
+            payload_matrix: Vector = np.zeros(
+                (snap.size, length), dtype=np.uint8
+            )
+            if r:
+                payload_matrix[:r] = np.frombuffer(
+                    snap.payload_rows, dtype=np.uint8
+                ).reshape(r, length)
+            decoder._payload_matrix = payload_matrix
+        return decoder
 
     # -- internals ---------------------------------------------------------
 

@@ -20,6 +20,7 @@ Randomness is injected explicitly (``numpy.random.Generator`` or
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -27,7 +28,7 @@ import numpy as np
 from repro.coding import gf256
 from repro.coding.block import CodedBlock, SegmentDescriptor
 from repro.coding.gf256 import Vector
-from repro.coding.linalg import IncrementalDecoder
+from repro.coding.linalg import DecoderSnapshot, IncrementalDecoder
 
 #: Either RNG flavour the codec accepts; draws are routed by isinstance.
 RngLike = Union[np.random.Generator, random.Random]
@@ -164,6 +165,44 @@ class SegmentDecoder:
     def decode(self) -> Vector:
         """Reconstruct the original payload rows; see IncrementalDecoder."""
         return self._decoder.decode()
+
+    def snapshot(self) -> "SegmentDecoderSnapshot":
+        """Serialize decoder state plus block-level bookkeeping."""
+        return SegmentDecoderSnapshot(
+            segment=self.segment,
+            offered=self.offered,
+            redundant=self.redundant,
+            completed_at=self.completed_at,
+            decoder=self._decoder.snapshot(),
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls, snap: "SegmentDecoderSnapshot"
+    ) -> "SegmentDecoder":
+        """Rebuild a segment decoder byte-identical to the snapshot."""
+        if snap.decoder.size != snap.segment.size:
+            raise ValueError(
+                f"snapshot decoder size {snap.decoder.size} != segment "
+                f"size {snap.segment.size}"
+            )
+        restored = cls(snap.segment)
+        restored._decoder = IncrementalDecoder.from_snapshot(snap.decoder)
+        restored.offered = snap.offered
+        restored.redundant = snap.redundant
+        restored.completed_at = snap.completed_at
+        return restored
+
+
+@dataclass(frozen=True)
+class SegmentDecoderSnapshot:
+    """Serialized :class:`SegmentDecoder` (one checkpoint journal entry)."""
+
+    segment: SegmentDescriptor
+    offered: int
+    redundant: int
+    completed_at: Optional[float]
+    decoder: DecoderSnapshot
 
 
 def rank_of_blocks(blocks: Sequence[CodedBlock]) -> int:

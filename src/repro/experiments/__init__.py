@@ -76,6 +76,7 @@ from repro.experiments.fig4 import plan_fig4, run_fig4
 from repro.experiments.fig5 import plan_fig5, run_fig5
 from repro.experiments.fig6 import plan_fig6, run_fig6
 from repro.experiments.live import plan_live, run_live
+from repro.experiments.live_chaos import plan_live_chaos, run_live_chaos
 from repro.experiments.robustness import (
     plan_robustness,
     rlnc_pollution_audit,
@@ -101,6 +102,7 @@ PLAN_BUILDERS: Dict[str, Callable[..., ExperimentPlan]] = {
     "adversary": plan_adversary,
     "scale": plan_scale,
     "live": plan_live,
+    "live-chaos": plan_live_chaos,
     "ablation-ttl": plan_ttl_ablation,
     "ablation-buffer": plan_buffer_ablation,
     "ablation-selection": plan_selection_ablation,
@@ -157,6 +159,8 @@ __all__ = [
     "run_robustness",
     "plan_live",
     "run_live",
+    "plan_live_chaos",
+    "run_live_chaos",
     "plan_scale",
     "run_scale",
     "plan_theorem1",

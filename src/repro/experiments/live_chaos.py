@@ -1,0 +1,322 @@
+"""E-LIVE-CHAOS — crash tolerance of the live swarm under process faults.
+
+E-LIVE establishes that the live runtime and the event simulator agree in
+steady state.  This experiment establishes that the agreement *survives
+crashes*: a supervised multi-process swarm (``repro live swarm
+--supervised``) is subjected to the process-level fault plane — the
+logging-server process SIGKILLed mid-measurement-window, then a cohort of
+peer processes SIGKILLed — and is compared against the event simulator
+executing the *same* :class:`~repro.faults.plan.FaultPlan` through its
+fault injector.
+
+What the fault path exercises, end to end:
+
+- the server's decode-state **checkpoint journal** — the SIGKILL lands
+  between checkpoint writes, the supervised respawn restores the decoder
+  pool bit-for-bit (the restore path *raises* on any rank mismatch, so a
+  completed run is itself the zero-rank-lost proof) and resumes the same
+  collection window on the restored clock epoch;
+- peer **reconnect/resume** — every peer re-registers against the
+  restarted server under the unified backoff policy and replays its
+  buffer state;
+- the **supervisor's restart budget** — chaos kills are indistinguishable
+  from crashes to the monitor tasks.
+
+Verdict: the faulted live run's steady-state metrics (throughput,
+efficiency, occupancy, block-delay mean and p95) must stay within the
+widened chaos tolerance bands of the simulator's faulted prediction, all
+decoded segments must hash-verify, and the fault plane must actually have
+fired (>= 1 server kill survived, >= 1 peer-cohort kill survived).
+Bands are wider than E-LIVE's (:data:`CHAOS_TOLERANCES`) because both
+estimates come from short faulted windows and the live outage length is
+real wall time (respawn backoff) rather than a configured constant.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.params import MODE_RLNC, Parameters
+from repro.experiments.base import (
+    ExperimentPlan,
+    Payload,
+    QUALITY_FAST,
+    SeriesResult,
+    SimBudget,
+    SimTask,
+    budget_for,
+    simulate_cell,
+)
+from repro.faults.plan import FaultPlan
+from repro.live.crossval import compare_reports
+from repro.live.supervisor import supervised_cell
+from repro.util.summary import summarize
+
+#: The operating point (same low-load corner as E-LIVE).
+ARRIVAL_RATE = 0.25
+GOSSIP_RATE = 1.0
+DELETION_RATE = 0.25
+CAPACITY = 1.0
+PAYLOAD_BYTES = 64
+SEGMENT_SIZE = 2
+
+#: Widened sim-vs-live bands for faulted short windows (see module doc).
+CHAOS_TOLERANCES: Dict[str, float] = {
+    "normalized_throughput": 0.25,
+    "efficiency": 0.25,
+    "mean_buffer_occupancy": 0.35,
+    "mean_block_delay": 0.60,
+    "p95_block_delay": 0.75,
+}
+
+CROSSVAL_METRICS = tuple(CHAOS_TOLERANCES) + ("outage_time",)
+LIVE_METRICS = CROSSVAL_METRICS + (
+    "hash_verified",
+    "hash_failures",
+    "server_restarts",
+    "restored_rank",
+    "checkpoint_writes",
+    "peer_proc_restarts",
+    "process_faults_executed",
+)
+
+#: Swarm shape per quality: peers, peer processes, warmup, duration,
+#: time scale.  Both engines run the SAME windows here — the fault onsets
+#: are absolute sim times, so the outage must land at the same place in
+#: the measurement window on both sides.
+CHAOS_SHAPE: Dict[str, Tuple[int, int, float, float, float]] = {
+    "fast": (200, 4, 6.0, 18.0, 1.0),
+    "full": (200, 8, 8.0, 24.0, 1.0),
+}
+
+#: The campaign: SIGKILL the collector at t=10 (mid-window), then SIGKILL
+#: a quarter of the peer processes at t=16.  The simulator charges the
+#: server kill as an outage of restart_latency sim units; the live side
+#: pays the real respawn+restore+reconnect time.
+KILL_SERVER_AT = 10.0
+KILL_PEERS_AT = 16.0
+KILL_PEERS_FRACTION = 0.25
+RESTART_LATENCY = 2.0
+
+CONDITIONS = ("base", "fault")
+
+
+def _chaos_plan() -> FaultPlan:
+    return FaultPlan(
+        process_faults=(
+            ("kill-server", KILL_SERVER_AT, 0.0, 0.0),
+            ("kill-peers", KILL_PEERS_AT, 0.0, KILL_PEERS_FRACTION),
+        ),
+        process_restart_latency=RESTART_LATENCY,
+    )
+
+
+def plan_live_chaos(
+    quality: str = QUALITY_FAST,
+    budget: Optional[SimBudget] = None,
+) -> ExperimentPlan:
+    """E-LIVE-CHAOS as a task grid: one cell per (engine, condition, seed).
+
+    Live cells run a complete supervised multi-process swarm inside the
+    task, so they monopolize the box while they run; the grid stays small
+    (2 live cells per seed) by design.
+    """
+    budget = budget or budget_for(quality)
+    n_peers, peer_procs, warmup, duration, time_scale = CHAOS_SHAPE[
+        "full" if quality == "full" else "fast"
+    ]
+    preset = budget_for(quality)
+    if budget.n_peers != preset.n_peers:
+        # explicit --n-peers override: chaos that population instead
+        n_peers = budget.n_peers
+        peer_procs = min(peer_procs, n_peers)
+    seeds = budget.seeds
+
+    def params_for(condition: str) -> Parameters:
+        return Parameters(
+            n_peers=n_peers,
+            arrival_rate=ARRIVAL_RATE,
+            gossip_rate=GOSSIP_RATE,
+            deletion_rate=DELETION_RATE,
+            normalized_capacity=CAPACITY,
+            segment_size=SEGMENT_SIZE,
+            n_servers=budget.n_servers,
+            mode=MODE_RLNC,
+            payload_bytes=PAYLOAD_BYTES,
+            faults=_chaos_plan() if condition == "fault" else None,
+        )
+
+    tasks = []
+    for condition in CONDITIONS:
+        params = params_for(condition)
+        for seed in seeds:
+            tasks.append(SimTask(
+                task_id=f"sim:{condition}:seed={seed}",
+                thunk=partial(
+                    simulate_cell, params, warmup, duration,
+                    CROSSVAL_METRICS, seed,
+                ),
+            ))
+            tasks.append(SimTask(
+                task_id=f"live:{condition}:seed={seed}",
+                thunk=partial(
+                    supervised_cell, params, seed, warmup, duration,
+                    time_scale, peer_procs, LIVE_METRICS,
+                ),
+            ))
+
+    def merge(payloads: Mapping[str, Payload]) -> SeriesResult:
+        result = SeriesResult(
+            name="live_chaos",
+            title=(
+                "E-LIVE-CHAOS — crash-tolerant live swarm under process "
+                f"faults (N={n_peers}, procs={peer_procs}, "
+                f"s={SEGMENT_SIZE}, kill-server@{KILL_SERVER_AT:g}, "
+                f"kill-peers@{KILL_PEERS_AT:g}x{KILL_PEERS_FRACTION:g}, "
+                f"time_scale={time_scale:g})"
+            ),
+            x_name="faulted",
+            x_values=[float(i) for i, _ in enumerate(CONDITIONS)],
+        )
+
+        def seed_mean(
+            prefix: str, condition: str, metric: str
+        ) -> Optional[float]:
+            samples = [
+                float(value)
+                for seed in seeds
+                for value in [
+                    payloads[f"{prefix}:{condition}:seed={seed}"][metric]
+                ]
+                if value is not None
+            ]
+            return summarize(samples).mean if samples else None
+
+        def live_sum(condition: str, metric: str) -> int:
+            return sum(
+                int(value)
+                for seed in seeds
+                for value in [
+                    payloads[f"live:{condition}:seed={seed}"][metric]
+                ]
+                if value is not None
+            )
+
+        verdicts = []
+        for condition in CONDITIONS:
+            sim_report = {
+                metric: seed_mean("sim", condition, metric)
+                for metric in CHAOS_TOLERANCES
+            }
+            live_report = {
+                metric: seed_mean("live", condition, metric)
+                for metric in CHAOS_TOLERANCES
+            }
+            verdicts.append((condition, compare_reports(
+                sim_report, live_report, tolerances=CHAOS_TOLERANCES
+            )))
+
+        for metric in CROSSVAL_METRICS:
+            result.add_series(
+                f"sim {metric}",
+                [seed_mean("sim", c, metric) for c in CONDITIONS],
+            )
+            result.add_series(
+                f"live {metric}",
+                [seed_mean("live", c, metric) for c in CONDITIONS],
+            )
+
+        for condition, report in verdicts:
+            worst = report.worst
+            if worst is None or worst.deviation is None:
+                detail = "no compared metric produced samples on both sides"
+            else:
+                detail = (
+                    f"worst {worst.metric}: "
+                    f"dev {worst.deviation:.1%} vs tol {worst.tolerance:.0%}"
+                )
+            result.add_note(
+                f"{condition}: "
+                f"{'agrees' if report.agrees else 'DISAGREES'} ({detail}) "
+                f"[bands: "
+                + ", ".join(
+                    f"{m}<={t:.0%}" for m, t in CHAOS_TOLERANCES.items()
+                )
+                + "]"
+            )
+
+        # Outage-induced delay degradation, engine by engine.
+        for metric in ("mean_block_delay", "normalized_throughput"):
+            for prefix in ("sim", "live"):
+                base = seed_mean(prefix, "base", metric)
+                fault = seed_mean(prefix, "fault", metric)
+                if base is not None and fault is not None:
+                    result.add_note(
+                        f"{prefix} {metric} degradation: "
+                        f"{base:.4f} -> {fault:.4f} "
+                        f"({fault - base:+.4f})"
+                    )
+
+        restarts = live_sum("fault", "server_restarts")
+        peer_kills = sum(
+            1
+            for seed in seeds
+            for executed in [
+                payloads[f"live:fault:seed={seed}"][
+                    "process_faults_executed"
+                ]
+            ]
+            if executed
+            for event in executed
+            if event.get("kind") == "kill-peers"
+        )
+        restored = live_sum("fault", "restored_rank")
+        failures = sum(
+            live_sum(condition, "hash_failures") for condition in CONDITIONS
+        )
+        verified = sum(
+            live_sum(condition, "hash_verified") for condition in CONDITIONS
+        )
+        result.add_note(
+            f"fault plane: {restarts} server SIGKILL(s) survived "
+            f"(decoder pool restored with {restored} rank unit(s), "
+            f"zero rank lost — the restore path raises on mismatch), "
+            f"{peer_kills} peer-cohort kill(s) executed"
+        )
+        result.add_note(
+            f"end-to-end decode verification: {verified} segment(s) "
+            f"hash-verified on the wire, {failures} failure(s)"
+        )
+        passed = (
+            all(report.agrees for _, report in verdicts)
+            and failures == 0
+            and verified > 0
+            and restarts >= 1
+            and peer_kills >= 1
+        )
+        result.add_note(
+            "E-LIVE-CHAOS PASSED" if passed else "E-LIVE-CHAOS FAILED"
+        )
+        return result
+
+    return ExperimentPlan("live_chaos", tasks, merge)
+
+
+def run_live_chaos(
+    quality: str = QUALITY_FAST,
+    budget: Optional[SimBudget] = None,
+) -> SeriesResult:
+    """Run E-LIVE-CHAOS serially; returns the table-ready result."""
+    return plan_live_chaos(quality, budget).run_serial()
+
+
+def main(quality: str = QUALITY_FAST) -> SeriesResult:
+    """CLI entry: run and print the table."""
+    result = run_live_chaos(quality)
+    print(result.to_table())
+    return result
+
+
+if __name__ == "__main__":
+    main()

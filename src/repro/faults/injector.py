@@ -23,7 +23,7 @@ import random
 from typing import Callable, FrozenSet, List, Optional, Protocol, Sequence
 
 from repro.coding.block import CodedBlock
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import PROC_KILL_PEERS, FaultPlan
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.metrics import MetricsCollector
 from repro.sim.rng import exponential
@@ -125,11 +125,32 @@ class FaultInjector:
             raise RuntimeError("bind() must be called before start()")
         if plan.burst_rate > 0 and self._kill_slots is None:
             raise RuntimeError("bind() must be called before start()")
+        if plan.has_process_faults and any(
+            kind == PROC_KILL_PEERS for kind, *_ in plan.process_faults
+        ) and self._kill_slots is None:
+            raise RuntimeError("bind() must be called before start()")
         for start, end in plan.outage_windows:
             self._handles.append(
                 self._sim.schedule_at(start, self._begin_outage)
             )
             self._handles.append(self._sim.schedule_at(end, self._end_outage))
+        # Server process faults are downtime windows of the supervised
+        # restart latency (kill) or the SIGSTOP hold (stop); a peer-process
+        # kill is a scheduled correlated burst.  stop-peers has no
+        # simulator analogue (a frozen peer still holds TCP state) and is
+        # deliberately a no-op here.
+        for start, end in plan.server_process_windows:
+            self._handles.append(
+                self._sim.schedule_at(start, self._begin_outage)
+            )
+            self._handles.append(self._sim.schedule_at(end, self._end_outage))
+        for kind, at, _duration, fraction in plan.process_faults:
+            if kind == PROC_KILL_PEERS:
+                self._handles.append(
+                    self._sim.schedule_at(
+                        at, self._make_process_burst(fraction)
+                    )
+                )
         if plan.outage_rate > 0:
             self._arm_next_outage()
         if plan.burst_rate > 0:
@@ -244,3 +265,19 @@ class FaultInjector:
         assert self._kill_slots is not None  # start() enforces bind()
         self._kill_slots(slots)
         self._arm_next_burst()
+
+    # -- process faults ----------------------------------------------------------
+
+    def _make_process_burst(self, fraction: float) -> Callable[[], None]:
+        """One scheduled kill-peers event as a correlated departure burst."""
+
+        def fire() -> None:
+            count = min(
+                self._n_slots, max(1, round(fraction * self._n_slots))
+            )
+            slots = self._rng.sample(range(self._n_slots), count)
+            self.bursts_fired += 1
+            assert self._kill_slots is not None  # start() enforces bind()
+            self._kill_slots(slots)
+
+        return fire

@@ -18,7 +18,13 @@ degradation"):
   renewal process, with a bounded catch-up burst on recovery;
 - **correlated churn bursts** — Poisson-timed events that kill a random
   fraction of peer slots *simultaneously*: flash departures, the dual of
-  the flash crowds the paper's buffering analysis absorbs.
+  the flash crowds the paper's buffering analysis absorbs;
+- **process faults** — scheduled hard process death and freezes
+  (SIGKILL/SIGSTOP of a live server or a peer-process cohort).  In the
+  simulator a server kill maps onto an outage window whose length is the
+  supervised restart latency, and a peer-cohort kill onto a scheduled
+  churn burst; the live supervisor (:mod:`repro.live.supervisor`)
+  delivers the real signals at the same simulated instants.
 
 All knobs default to "off"; a default-constructed plan is *null* and the
 injector built from it is bitwise-neutral — it draws no randomness and
@@ -39,6 +45,26 @@ from repro.util.validation import (
     require_probability,
     require_rate,
 )
+
+# -- process-fault kinds ----------------------------------------------------
+#: SIGKILL the logging-server process; it restarts (from its checkpoint)
+#: after ``process_restart_latency`` simulated units.
+PROC_KILL_SERVER = "kill-server"
+#: SIGSTOP the logging-server process for the event's duration.
+PROC_STOP_SERVER = "stop-server"
+#: SIGKILL a fraction of the peer processes (a correlated crash cohort).
+PROC_KILL_PEERS = "kill-peers"
+#: SIGSTOP a fraction of the peer processes for the event's duration
+#: (live-only: a frozen-but-alive peer has no simulator analogue, so the
+#: sim treats it as a no-op and E-LIVE-CHAOS does not cross-validate it).
+PROC_STOP_PEERS = "stop-peers"
+
+PROCESS_FAULT_KINDS = (
+    PROC_KILL_SERVER, PROC_STOP_SERVER, PROC_KILL_PEERS, PROC_STOP_PEERS,
+)
+
+#: Process-fault kinds that take the logging servers down.
+_SERVER_KINDS = (PROC_KILL_SERVER, PROC_STOP_SERVER)
 
 
 @dataclass(frozen=True)
@@ -68,6 +94,16 @@ class FaultPlan:
     burst_rate: float = 0.0
     #: fraction of peer slots killed simultaneously by each burst event.
     burst_fraction: float = 0.0
+    #: scheduled process faults as ``(kind, at, duration, fraction)``
+    #: entries (see the ``PROC_*`` kinds above): *at* is the simulated
+    #: onset time, *duration* the SIGSTOP hold (0 for kills), *fraction*
+    #: the peer-process cohort share (0 for server kinds).
+    process_faults: Tuple[Tuple[str, float, float, float], ...] = ()
+    #: simulated downtime a ``kill-server`` fault costs: the time the
+    #: supervisor needs to detect death, back off, respawn, and reload the
+    #: checkpoint.  The simulator models the kill as an outage window of
+    #: exactly this length.
+    process_restart_latency: float = 1.0
 
     def __post_init__(self) -> None:
         require_probability("gossip_loss_rate", self.gossip_loss_rate)
@@ -130,6 +166,96 @@ class FaultPlan:
                 "choose deterministic outage_windows or the renewal process "
                 "(outage_rate/outage_duration), not both"
             )
+        require_nonnegative(
+            "process_restart_latency", self.process_restart_latency
+        )
+        if not math.isfinite(self.process_restart_latency):
+            raise ValueError("process_restart_latency must be finite")
+        events: List[Tuple[str, float, float, float]] = []
+        for index, entry in enumerate(self.process_faults):
+            try:
+                raw_kind, raw_at, raw_duration, raw_fraction = entry
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"process_faults[{index}] must be a "
+                    f"(kind, at, duration, fraction) tuple, got {entry!r}"
+                ) from None
+            try:
+                event = (
+                    str(raw_kind), float(raw_at), float(raw_duration),
+                    float(raw_fraction),
+                )
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"process_faults[{index}] has non-numeric timing/fraction "
+                    f"fields: {entry!r}"
+                ) from None
+            events.append(event)
+        events.sort(key=lambda event: event[1])
+        object.__setattr__(self, "process_faults", tuple(events))
+        for index, (kind, at, duration, fraction) in enumerate(events):
+            label = f"process_faults[{index}]"
+            if kind not in PROCESS_FAULT_KINDS:
+                raise ValueError(
+                    f"{label} kind {kind!r} is not one of "
+                    f"{PROCESS_FAULT_KINDS}"
+                )
+            if not (math.isfinite(at) and at >= 0):
+                raise ValueError(f"{label} onset must be finite and >= 0")
+            if not (math.isfinite(duration) and duration >= 0):
+                raise ValueError(f"{label} duration must be finite and >= 0")
+            if kind in (PROC_STOP_SERVER, PROC_STOP_PEERS) and duration <= 0:
+                raise ValueError(f"{label} ({kind}) needs duration > 0")
+            if kind in (PROC_KILL_PEERS, PROC_STOP_PEERS):
+                if not (0.0 < fraction <= 1.0):
+                    raise ValueError(
+                        f"{label} ({kind}) needs fraction in (0, 1]"
+                    )
+            elif fraction != 0.0:
+                raise ValueError(
+                    f"{label} ({kind}) must leave fraction at 0"
+                )
+            if kind == PROC_KILL_SERVER:
+                if duration + self.process_restart_latency <= 0:
+                    raise ValueError(
+                        f"{label} (kill-server) needs "
+                        "process_restart_latency > 0 to model the downtime"
+                    )
+        server_windows = self._server_fault_windows(tuple(events))
+        if server_windows and self.outage_rate > 0:
+            raise ValueError(
+                "server process faults and renewal outages cannot be "
+                "combined (their downtimes would overlap nondeterministically)"
+            )
+        merged = sorted(windows + server_windows)
+        previous_end = 0.0
+        for start, end in merged:
+            if start < previous_end:
+                raise ValueError(
+                    "server process-fault downtime windows must not overlap "
+                    "each other or the deterministic outage_windows: "
+                    f"({start:g}, {end:g}) starts before {previous_end:g}"
+                )
+            previous_end = end
+
+    def _server_fault_windows(
+        self, events: Tuple[Tuple[str, float, float, float], ...]
+    ) -> Tuple[Tuple[float, float], ...]:
+        """Downtime windows implied by the server-kind process faults."""
+        windows: List[Tuple[float, float]] = []
+        for kind, at, duration, _fraction in events:
+            if kind == PROC_KILL_SERVER:
+                windows.append(
+                    (at, at + duration + self.process_restart_latency)
+                )
+            elif kind == PROC_STOP_SERVER:
+                windows.append((at, at + duration))
+        return tuple(windows)
+
+    @property
+    def server_process_windows(self) -> Tuple[Tuple[float, float], ...]:
+        """Server downtime windows implied by kill/stop-server faults."""
+        return self._server_fault_windows(self.process_faults)
 
     # -- derived ---------------------------------------------------------------
 
@@ -143,12 +269,22 @@ class FaultPlan:
             and not self.outage_windows
             and self.outage_rate == 0.0
             and self.burst_rate == 0.0
+            and not self.process_faults
         )
 
     @property
     def has_outages(self) -> bool:
         """True when any downtime is configured."""
-        return bool(self.outage_windows) or self.outage_rate > 0.0
+        return (
+            bool(self.outage_windows)
+            or self.outage_rate > 0.0
+            or bool(self.server_process_windows)
+        )
+
+    @property
+    def has_process_faults(self) -> bool:
+        """True when any scheduled process fault is configured."""
+        return bool(self.process_faults)
 
     @property
     def outage_duty_cycle(self) -> float:
@@ -202,4 +338,7 @@ class FaultPlan:
             parts.append(
                 f"bursts(rate={self.burst_rate:g},kill={self.burst_fraction:g})"
             )
+        if self.process_faults:
+            kinds = ",".join(kind for kind, *_ in self.process_faults)
+            parts.append(f"proc[{kinds}]")
         return " ".join(parts) if parts else "no faults"

@@ -19,13 +19,42 @@ import asyncio
 import json
 import signal
 import sys
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.params import MODE_RLNC, Parameters
-from repro.faults.plan import FaultPlan
-from repro.live.harness import run_swarm
+from repro.faults.plan import PROCESS_FAULT_KINDS, FaultPlan
+from repro.live import wire
+from repro.live.harness import run_swarm, validate_live_params
+from repro.live.livemetrics import aggregate_report
 from repro.live.peer import LivePeer
 from repro.live.server import LiveLoggingServer
+from repro.live.supervisor import run_supervised_swarm
+
+
+def parse_proc_fault(spec: str) -> Tuple[str, float, float, float]:
+    """Parse one ``KIND@AT[:DURATION[:FRACTION]]`` process-fault spec.
+
+    Examples: ``kill-server@10``, ``stop-server@8:2``,
+    ``kill-peers@16:0:0.5`` (kill half the peer processes at t=16).
+    """
+    try:
+        kind, _, rest = spec.partition("@")
+        if not rest:
+            raise ValueError("missing '@AT'")
+        parts = rest.split(":")
+        if len(parts) > 3:
+            raise ValueError("too many ':' fields")
+        at = float(parts[0])
+        duration = float(parts[1]) if len(parts) > 1 else 0.0
+        fraction = float(parts[2]) if len(parts) > 2 else 0.0
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad process fault {spec!r}: {exc} "
+            f"(format: KIND@AT[:DURATION[:FRACTION]], "
+            f"kinds: {', '.join(sorted(PROCESS_FAULT_KINDS))})"
+        ) from None
+    return kind, at, duration, fraction
 
 
 def _add_params_flags(parser: argparse.ArgumentParser) -> None:
@@ -48,11 +77,14 @@ def _add_params_flags(parser: argparse.ArgumentParser) -> None:
 
 def _params_from_args(args: argparse.Namespace) -> Parameters:
     faults: Optional[FaultPlan] = None
-    if args.gossip_loss or args.pull_loss or args.pollution:
+    process_faults = tuple(getattr(args, "proc_fault", None) or ())
+    if args.gossip_loss or args.pull_loss or args.pollution or process_faults:
         faults = FaultPlan(
             gossip_loss_rate=args.gossip_loss,
             pull_loss_rate=args.pull_loss,
             pollution_fraction=args.pollution,
+            process_faults=process_faults,
+            process_restart_latency=getattr(args, "restart_latency", 1.0),
         )
     return Parameters(
         n_peers=args.n_peers,
@@ -86,6 +118,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="simulated time units per wall second")
     swarm.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
+    swarm.add_argument("--supervised", action="store_true",
+                       help="run server and peers as monitored OS "
+                            "processes with crash-restart supervision")
+    swarm.add_argument("--peer-procs", type=int, default=4,
+                       help="peer processes in --supervised mode")
+    swarm.add_argument("--proc-fault", type=parse_proc_fault,
+                       action="append", default=None,
+                       metavar="KIND@AT[:DUR[:FRAC]]",
+                       help="schedule a process fault (repeatable; "
+                            "requires --supervised)")
+    swarm.add_argument("--restart-latency", type=float, default=1.0,
+                       help="sim-time restart latency the simulator "
+                            "charges per kill-server fault")
 
     serve = sub.add_parser("serve", help="standalone logging-server registry")
     _add_params_flags(serve)
@@ -99,6 +144,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--expect-peers", type=int, default=None,
                        help="start once this many peers joined "
                             "(default: n-peers)")
+    serve.add_argument("--params-json", default=None,
+                       help="load full session Parameters from this JSON "
+                            "file (overrides the parameter flags)")
+    serve.add_argument("--checkpoint", default=None,
+                       help="decode-state journal path; an existing file "
+                            "restores and resumes the window")
+    serve.add_argument("--checkpoint-interval", type=float, default=1.0,
+                       help="wall seconds between checkpoint writes")
+    serve.add_argument("--report", action="store_true",
+                       help="drive one measured window (warmup, MARK, "
+                            "duration) and print the report as a JSON "
+                            "line; emits started/resumed/marked events")
 
     peer = sub.add_parser("peer", help="standalone peer process")
     peer.add_argument("--server-host", required=True)
@@ -112,6 +169,89 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _serve_params(args: argparse.Namespace) -> Parameters:
+    if args.params_json:
+        payload = json.loads(Path(args.params_json).read_text())
+        return wire.params_from_wire(payload)
+    return _params_from_args(args)
+
+
+async def _run_serve_report(
+    args: argparse.Namespace,
+    server: LiveLoggingServer,
+    stop: "asyncio.Event",
+) -> int:
+    """Drive one measured window from inside the serve process.
+
+    Fresh start: wait for the peer cohort, begin, MARK at ``warmup``,
+    report at ``warmup + duration``. Supervised respawn (the checkpoint
+    restored state in ``server.start()``): resume the running window on
+    the restored epoch — peers rejoin on their own schedule, MARK is
+    skipped if it already happened.
+    """
+    clock = server.clock
+    if server.restarts > 0:
+        await server.resume()
+        print(json.dumps({
+            "type": "resumed",
+            "epoch": clock.epoch,
+            "restarts": server.restarts,
+            "restored_rank": server.restored_rank,
+        }), flush=True)
+    else:
+        expected = args.expect_peers or server.params.n_peers
+        join = asyncio.ensure_future(server.wait_for_peers(expected))
+        stopper = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            {join, stopper}, return_when=asyncio.FIRST_COMPLETED
+        )
+        stopper.cancel()
+        await asyncio.gather(stopper, return_exceptions=True)
+        if stop.is_set():
+            join.cancel()
+            await asyncio.gather(join, return_exceptions=True)
+            return 0
+        await server.begin()
+        print(json.dumps(
+            {"type": "started", "epoch": clock.epoch}
+        ), flush=True)
+    if server.marked_at is None:
+        await clock.sleep_until(args.warmup)
+        await server.mark()
+        print(json.dumps(
+            {"type": "marked", "at": server.marked_at}
+        ), flush=True)
+    mark_at = server.marked_at
+    assert mark_at is not None
+    await clock.sleep_until(args.warmup + args.duration)
+    await server.stop_protocol()
+    stop_at = clock.now()
+    window = stop_at - mark_at
+    peer_summaries: List[Dict[str, float]] = []
+    for slot in sorted(server.peers):
+        # Chaos may have taken peers out for good: collect best-effort.
+        try:
+            peer_summaries.append(await server.request_metrics(slot))
+        except (ConnectionError, OSError, asyncio.TimeoutError, KeyError):
+            continue
+    report = aggregate_report(
+        server.params,
+        window,
+        server.stats.summary(stop_at, window),
+        peer_summaries,
+        extras={
+            "engine": "live",
+            "time_scale": clock.time_scale,
+            "server_restarts": server.restarts,
+            "restored_rank": server.restored_rank,
+            "checkpoint_writes": server.checkpoint_writes,
+            "peers_reporting": len(peer_summaries),
+        },
+    )
+    print(json.dumps({"type": "report", "report": report}), flush=True)
+    return 0
+
+
 async def _run_serve(args: argparse.Namespace) -> int:
     # Install the drain handlers before anything is observable from the
     # outside (the endpoint line): once a caller can see the port, a
@@ -120,16 +260,26 @@ async def _run_serve(args: argparse.Namespace) -> int:
     stop = asyncio.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):
         loop.add_signal_handler(sig, stop.set)
-    params = _params_from_args(args)
+    params = _serve_params(args)
     server = LiveLoggingServer(
         params,
         args.seed,
         time_scale=args.time_scale,
         host=args.host,
         port=args.port,
+        checkpoint_path=(
+            Path(args.checkpoint) if args.checkpoint else None
+        ),
+        checkpoint_interval=args.checkpoint_interval,
     )
     await server.start()
     print(json.dumps({"host": args.host, "port": server.port}), flush=True)
+    if args.report:
+        try:
+            return await _run_serve_report(args, server, stop)
+        finally:
+            await server.stop_protocol()
+            await server.close()
     try:
         expected = args.expect_peers or params.n_peers
         join = asyncio.ensure_future(server.wait_for_peers(expected))
@@ -218,15 +368,29 @@ def live_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro live ...``."""
     args = _build_parser().parse_args(argv)
     if args.command == "swarm":
-        report = asyncio.run(
-            run_swarm(
-                _params_from_args(args),
-                args.seed,
-                warmup=args.warmup,
-                duration=args.duration,
-                time_scale=args.time_scale,
+        params = _params_from_args(args)
+        if args.supervised:
+            validate_live_params(params, supervised=True)
+            report = asyncio.run(
+                run_supervised_swarm(
+                    params,
+                    args.seed,
+                    warmup=args.warmup,
+                    duration=args.duration,
+                    time_scale=args.time_scale,
+                    peer_procs=args.peer_procs,
+                )
             )
-        )
+        else:
+            report = asyncio.run(
+                run_swarm(
+                    params,
+                    args.seed,
+                    warmup=args.warmup,
+                    duration=args.duration,
+                    time_scale=args.time_scale,
+                )
+            )
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
         else:

@@ -46,6 +46,17 @@ class LiveClock:
         """True once the epoch is set."""
         return self._t0 is not None
 
+    @property
+    def epoch(self) -> Optional[float]:
+        """The wall-clock epoch (``loop.time()`` units), or ``None``.
+
+        ``loop.time()`` is CLOCK_MONOTONIC, which is system-wide on Linux,
+        so an epoch checkpointed by a killed server process remains valid
+        in its respawned successor on the same box — the restarted clock
+        resumes the *same* simulated timeline.
+        """
+        return self._t0
+
     def start(self, wall_t0: Optional[float] = None) -> None:
         """Fix the sim-time epoch (default: now)."""
         if self._t0 is not None:

@@ -137,16 +137,29 @@ class FrameDecoder:
 
     _buffer: bytearray = field(default_factory=bytearray)
     _dead: bool = False
+    _truncated: bool = False
+    _eof: bool = False
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered toward an incomplete frame."""
         return len(self._buffer)
 
+    @property
+    def truncated(self) -> bool:
+        """The stream ended mid-frame (an abrupt disconnect, not garbage)."""
+        return self._truncated
+
     def feed(self, data: bytes) -> List[Frame]:
         """Consume *data*; return every frame it completes."""
+        if self._truncated:
+            raise FrameTruncated(
+                "decoder saw EOF mid-frame; the connection must be re-dialed"
+            )
         if self._dead:
             raise FrameGarbage("decoder poisoned by an earlier protocol error")
+        if self._eof:
+            raise FrameTruncated("bytes fed after EOF was declared")
         self._buffer.extend(data)
         frames: List[Frame] = []
         while True:
@@ -187,12 +200,24 @@ class FrameDecoder:
         return Frame(header=header, payload=payload)
 
     def finish(self) -> None:
-        """Declare EOF; raises :class:`FrameTruncated` mid-frame."""
+        """Declare EOF; raises :class:`FrameTruncated` mid-frame.
+
+        A mid-frame EOF is an *abrupt disconnect* — the peer crashed or the
+        connection dropped — not a protocol violation, so the decoder is
+        marked :attr:`truncated` (every later call keeps raising
+        :class:`FrameTruncated`, never :class:`FrameGarbage`): handlers
+        treat it as a reconnect signal rather than evidence of a broken
+        speaker.
+        """
         if self._buffer:
+            pending = len(self._buffer)
+            self._truncated = True
+            self._buffer.clear()
             raise FrameTruncated(
-                f"stream ended with {len(self._buffer)} byte(s) of an "
+                f"stream ended with {pending} byte(s) of an "
                 "incomplete frame buffered"
             )
+        self._eof = True
 
     def _poison(self) -> None:
         self._dead = True

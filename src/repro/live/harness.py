@@ -35,8 +35,14 @@ JOIN_TIMEOUT = 120.0
 START_DELAY = 0.5
 
 
-def validate_live_params(params: Parameters) -> None:
-    """Reject configurations the live runtime cannot execute faithfully."""
+def validate_live_params(params: Parameters, supervised: bool = False) -> None:
+    """Reject configurations the live runtime cannot execute faithfully.
+
+    *supervised* marks a multi-process run under
+    :class:`repro.live.supervisor.LiveSupervisor`: only there can
+    ``process_faults`` be delivered (as real signals); a single-process
+    swarm has no processes to kill, so such plans are rejected.
+    """
     if params.mode != MODE_RLNC or params.payload_bytes <= 0:
         raise ValueError(
             "live swarms move real bytes: set mode='rlnc' and "
@@ -44,6 +50,15 @@ def validate_live_params(params: Parameters) -> None:
         )
     if params.has_adversary:
         raise ValueError("live swarms do not run adversary plans")
+    if (
+        not supervised
+        and params.faults is not None
+        and params.faults.process_faults
+    ):
+        raise ValueError(
+            "process_faults need real processes to signal: run with "
+            "--supervised (repro live swarm) or run_supervised_swarm()"
+        )
     if params.pull_policy != "random":
         raise ValueError(
             f"live swarms implement the paper's random pull policy only, "

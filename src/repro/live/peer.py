@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import random
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -34,8 +35,9 @@ from repro.core.params import SELECTION_UNIFORM, Parameters
 from repro.core.peer import Peer
 from repro.live import ports, wire
 from repro.live.clock import LiveClock, PoissonSchedule
-from repro.live.framing import Frame, FrameError
+from repro.live.framing import Frame, FrameError, FrameTruncated
 from repro.live.livemetrics import PeerStats
+from repro.live.ports import Backoff
 from repro.live.transport import (
     ConnectionCache,
     FramedConnection,
@@ -51,6 +53,13 @@ GOSSIP_CACHE = 4
 #: Segment ids are globally unique without coordination: slot << SHIFT | n.
 _SEGMENT_SHIFT = 32
 
+#: Wall seconds between heartbeat frames to the registry.
+HEARTBEAT_WALL = 2.0
+
+#: Wall seconds a peer keeps re-dialing a vanished registry before it
+#: gives up and shuts down (covers kill + supervisor backoff + rebind).
+DEFAULT_RECONNECT_DEADLINE = 20.0
+
 
 class LivePeer:
     """One peer node of a live swarm (in-process task or standalone)."""
@@ -65,6 +74,7 @@ class LivePeer:
         clock: Optional[LiveClock] = None,
         time_scale: float = 1.0,
         listen_host: str = "127.0.0.1",
+        reconnect_deadline: float = DEFAULT_RECONNECT_DEADLINE,
     ) -> None:
         self.slot = -1 if slot is None else slot
         self._requested_slot = slot
@@ -93,11 +103,17 @@ class LivePeer:
         self._cache = ConnectionCache(self._open_gossip, GOSSIP_CACHE)
         self._protocol_tasks: List["asyncio.Task[None]"] = []
         self._control_task: Optional["asyncio.Task[None]"] = None
+        self._heartbeat_task: Optional["asyncio.Task[None]"] = None
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
         self._status_event = asyncio.Event()
         self._status_sent_nonempty = False
         self._running = False
         self.stopped = asyncio.Event()
+        self.reconnect_deadline = reconnect_deadline
+        #: registry reconnects survived by this peer process.
+        self.reconnects = 0
+        self._marked = False
+        self._backoff_rng: Optional[random.Random] = None
 
     def _configure(self, params: Parameters, seed: int) -> None:
         """Bind the protocol state once slot, params, and seed are known."""
@@ -117,6 +133,7 @@ class LivePeer:
         self._select_rng = seeds.python(f"live:peer{slot}:select")
         self._coding_rng = seeds.numpy(f"live:peer{slot}:coding")
         self._payload_rng = seeds.numpy(f"live:peer{slot}:payload")
+        self._backoff_rng = seeds.python(f"live:peer{slot}:backoff")
         self.netem = NetemShim(
             params.faults,
             params.n_peers,
@@ -148,19 +165,44 @@ class LivePeer:
         self._listener, self.listen_port = await ports.start_server(
             self._handle_connection, self._listen_host
         )
-        self._control = await FramedConnection.open(*self._server_addr)
-        await self._control.send({
-            "type": wire.MSG_HELLO,
-            "slot": self._requested_slot,
-            "host": self._listen_host,
-            "port": self.listen_port,
-        })
-        welcome = await self._control.read()
-        if welcome is None or welcome.type != wire.MSG_WELCOME:
-            raise ConnectionError(
-                f"peer {self.slot}: expected WELCOME, got "
-                f"{None if welcome is None else welcome.type!r}"
-            )
+        await self._dial_control()
+        self._control_task = asyncio.create_task(
+            self._control_loop(), name=f"peer{self.slot}:control"
+        )
+        self._heartbeat_task = asyncio.create_task(
+            self._heartbeat_loop(), name=f"peer{self.slot}:heartbeat"
+        )
+
+    async def _dial_control(self) -> None:
+        """Dial the registry and complete the HELLO/WELCOME handshake.
+
+        Used for both the initial registration and every reconnect; on a
+        reconnect the HELLO carries a ``resume`` stanza replaying the
+        peer's buffer state so the server's candidate set is correct
+        before the first STATUS edge.
+        """
+        conn = await FramedConnection.open(*self._server_addr)
+        try:
+            hello: Dict[str, object] = {
+                "type": wire.MSG_HELLO,
+                "slot": (
+                    self.slot if self.slot >= 0 else self._requested_slot
+                ),
+                "host": self._listen_host,
+                "port": self.listen_port,
+            }
+            if self.params is not None:
+                hello["resume"] = {"nonempty": not self.core.is_empty}
+            await conn.send(hello)
+            welcome = await conn.read()
+            if welcome is None or welcome.type != wire.MSG_WELCOME:
+                raise ConnectionError(
+                    f"peer {self.slot}: expected WELCOME, got "
+                    f"{None if welcome is None else welcome.type!r}"
+                )
+        except BaseException:
+            await conn.close()
+            raise
         self.slot = int(welcome.header["slot"])
         if self.params is None:
             if not self._clock_given and not self.clock.started:
@@ -169,20 +211,31 @@ class LivePeer:
                 wire.params_from_wire(welcome.header["params"]),
                 int(welcome.header["seed"]),
             )
-        self._control_task = asyncio.create_task(
-            self._control_loop(), name=f"peer{self.slot}:control"
-        )
+        epoch = welcome.header.get("epoch")
+        if epoch is not None and not self.clock.started:
+            # A restarted server restores the swarm's original epoch; a
+            # rejoining peer adopts it directly instead of waiting for a
+            # START broadcast that already happened.
+            self.clock.start(float(epoch))
+        old = self._control
+        self._control = conn
+        if old is not None:
+            await old.close()
+        # Force a fresh STATUS edge on the new connection.
+        self._status_sent_nonempty = False
+        self._status_event.set()
 
     async def close(self) -> None:
         """Tear everything down; leaves no tasks or transports behind."""
         self._stop_protocol()
-        for task in [self._control_task, *self._protocol_tasks,
-                     *self._conn_tasks]:
+        for task in [self._control_task, self._heartbeat_task,
+                     *self._protocol_tasks, *self._conn_tasks]:
             if task is not None:
                 task.cancel()
         await asyncio.gather(
-            *(t for t in [self._control_task, *self._protocol_tasks,
-                          *self._conn_tasks] if t is not None),
+            *(t for t in [self._control_task, self._heartbeat_task,
+                          *self._protocol_tasks, *self._conn_tasks]
+              if t is not None),
             return_exceptions=True,
         )
         self._protocol_tasks.clear()
@@ -198,33 +251,121 @@ class LivePeer:
     # -- control plane ------------------------------------------------------
 
     async def _control_loop(self) -> None:
-        assert self._control is not None
+        """Serve the registry connection; re-dial when it is torn down.
+
+        Distinguishes a deliberate goodbye (BYE frame — the session is
+        over) from a lost transport (mid-frame truncation, abrupt EOF,
+        socket error — the server crashed or the network broke): the
+        former stops the peer, the latter enters the bounded-backoff
+        reconnect path and resumes the same session.
+        """
         try:
             while True:
-                frame = await self._control.read()
-                if frame is None or frame.type == wire.MSG_BYE:
+                outcome = await self._serve_control()
+                if outcome == "bye":
                     break
-                await self._handle_control(frame)
-        except (FrameError, ConnectionError, OSError):
-            pass
+                if not await self._reconnect():
+                    break
         finally:
             self._stop_protocol()
             self.stopped.set()
+
+    async def _serve_control(self) -> str:
+        """Read control frames until goodbye ("bye") or loss ("lost")."""
+        conn = self._control
+        assert conn is not None
+        try:
+            while True:
+                frame = await conn.read()
+                if frame is None:
+                    # Abrupt EOF without BYE: the server vanished.
+                    return "lost"
+                if frame.type == wire.MSG_BYE:
+                    return "bye"
+                await self._handle_control(frame)
+        except FrameTruncated:
+            return "lost"
+        except (ConnectionError, OSError):
+            return "lost"
+        except FrameError:
+            # Garbage on the control stream is a protocol violation, not
+            # a crash; re-dialing would just replay it.
+            return "bye"
+
+    async def _reconnect(self) -> bool:
+        """Re-dial the registry under the unified backoff policy."""
+        policy = Backoff(
+            initial=0.1,
+            cap=2.0,
+            attempts=0,
+            deadline=self.reconnect_deadline,
+            rng=self._backoff_rng,
+        )
+        try:
+            await policy.retry(
+                self._dial_control,
+                retry_on=(ConnectionError, FrameError, OSError),
+            )
+        except (ConnectionError, FrameError, OSError):
+            return False
+        self.reconnects += 1
+        return True
+
+    async def _heartbeat_loop(self) -> None:
+        """Beacon liveness (and the buffer bit) to the registry.
+
+        Heartbeats ride the control connection on a wall-clock period so
+        the server can distinguish a stopped/killed peer from a merely
+        quiet one; send failures are ignored — the control loop owns
+        reconnection.
+        """
+        while True:
+            await asyncio.sleep(HEARTBEAT_WALL)
+            conn = self._control
+            if conn is None or self.params is None:
+                continue
+            try:
+                await conn.send({
+                    "type": wire.MSG_HEARTBEAT,
+                    "slot": self.slot,
+                    "nonempty": not self.core.is_empty,
+                })
+            except (ConnectionError, OSError):
+                pass
 
     async def _handle_control(self, frame: Frame) -> None:
         assert self._control is not None
         kind = frame.type
         if kind == wire.MSG_DIRECTORY:
-            self.directory = {
+            entries = {
                 int(slot): (str(host), int(port))
                 for slot, (host, port) in frame.header["peers"].items()
             }
+            if frame.header.get("partial", False):
+                # Incremental update: a peer re-registered (possibly on a
+                # new port); drop any cached connection to its old address.
+                for slot, addr in entries.items():
+                    if self.directory.get(slot) != addr:
+                        await self._cache.drop(slot)
+                self.directory.update(entries)
+            else:
+                self.directory = entries
         elif kind == wire.MSG_START:
             if not self.clock.started:
                 loop = asyncio.get_running_loop()
                 self.clock.start(loop.time() + float(frame.header.get("in", 0.0)))
             self._start_protocol()
+        elif kind == wire.MSG_RESUME:
+            # Sent by a (restarted) server to a peer joining a running
+            # swarm: no START will follow, begin immediately on the
+            # already-adopted epoch.
+            if self.clock.started:
+                self._start_protocol()
+            if frame.header.get("marked", False) and not self._marked:
+                self._marked = True
+                self.stats.begin_window(self.clock.now())
         elif kind == wire.MSG_MARK:
+            self._marked = True
             self.stats.begin_window(self.clock.now())
         elif kind == wire.MSG_STOP:
             self._stop_protocol()
@@ -282,19 +423,34 @@ class LivePeer:
         self._status_event.set()
 
     async def _status_loop(self) -> None:
-        """Push empty/nonempty transitions to the registry (deduplicated)."""
-        assert self._control is not None
+        """Push empty/nonempty transitions to the registry (deduplicated).
+
+        Survives control-connection loss: a failed send re-arms the event
+        and the next attempt goes out on whatever connection the reconnect
+        path installed (``_dial_control`` resets the dedup state so the
+        new server always gets a fresh edge).
+        """
         while True:
             await self._status_event.wait()
             self._status_event.clear()
+            conn = self._control
+            if conn is None:
+                continue
             nonempty = not self.core.is_empty
-            if nonempty != self._status_sent_nonempty:
-                self._status_sent_nonempty = nonempty
-                await self._control.send({
+            if nonempty == self._status_sent_nonempty:
+                continue
+            try:
+                await conn.send({
                     "type": wire.MSG_STATUS,
                     "slot": self.slot,
                     "nonempty": nonempty,
                 })
+            except (ConnectionError, OSError):
+                # Mid-reconnect; re-arm and let the next edge retry.
+                self._status_event.set()
+                await asyncio.sleep(0.05)
+                continue
+            self._status_sent_nonempty = nonempty
 
     # -- protocol loops -----------------------------------------------------
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.coding.block import CodedBlock
@@ -35,8 +36,14 @@ from repro.coding.rlnc import SegmentDecoder
 from repro.core.params import Parameters
 from repro.faults.plan import FaultPlan
 from repro.live import ports, wire
+from repro.live.checkpoint import (
+    CheckpointError,
+    ServerCheckpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.live.clock import LiveClock, PoissonSchedule
-from repro.live.framing import Frame, FrameError
+from repro.live.framing import Frame, FrameError, FrameTruncated
 from repro.live.livemetrics import CollectorStats
 from repro.live.transport import (
     BURST_STREAM,
@@ -46,6 +53,7 @@ from repro.live.transport import (
     POLLUTER_STREAM,
     detects_pollution,
 )
+from repro.sim.metrics import WindowedAverage
 from repro.sim.rng import SeedSequenceRegistry, exponential
 from repro.util.randomset import RandomizedSet
 
@@ -55,19 +63,29 @@ PULL_CACHE = 64
 #: Wall-clock timeout for one peer's metrics reply during collection.
 METRICS_TIMEOUT = 30.0
 
+#: Wall seconds between decode-state checkpoint writes (when enabled).
+DEFAULT_CHECKPOINT_INTERVAL = 1.0
+
+#: A peer whose last heartbeat is older than this many wall seconds is
+#: dropped from the pull candidate set (it may be SIGSTOPped); the next
+#: heartbeat or status frame reinstates it.
+HEARTBEAT_TIMEOUT_WALL = 8.0
+
 
 class _PeerRecord:
     """Registry entry for one connected peer."""
 
-    __slots__ = ("slot", "host", "port", "conn")
+    __slots__ = ("slot", "host", "port", "conn", "last_seen")
 
     def __init__(
-        self, slot: int, host: str, port: int, conn: FramedConnection
+        self, slot: int, host: str, port: int, conn: FramedConnection,
+        last_seen: float = 0.0,
     ) -> None:
         self.slot = slot
         self.host = host
         self.port = port
         self.conn = conn
+        self.last_seen = last_seen
 
 
 class LiveLoggingServer:
@@ -81,16 +99,27 @@ class LiveLoggingServer:
         clock: Optional[LiveClock] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        checkpoint_path: Optional[Path] = None,
+        checkpoint_interval: float = DEFAULT_CHECKPOINT_INTERVAL,
     ) -> None:
         if params.has_adversary:
             raise ValueError("the live runtime does not run adversary plans")
+        if checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be > 0, got {checkpoint_interval}"
+            )
         self.params = params
         self.seed = seed
         self.host = host
         self._requested_port = port
         self.port = 0
         self.clock = clock if clock is not None else LiveClock(time_scale)
-        seeds = SeedSequenceRegistry(seed)
+        self.checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self.checkpoint_interval = checkpoint_interval
+        self._seeds = SeedSequenceRegistry(seed)
+        seeds = self._seeds
         self._select_rng = seeds.python("live:server:select")
         self._event_rngs = [
             seeds.python(f"live:server{i}:events")
@@ -125,14 +154,98 @@ class LiveLoggingServer:
         self._resumed.set()
         self._pull_schedules: List[PoissonSchedule] = []
         self.draining = asyncio.Event()
+        #: restarts survived so far (0 on a fresh start).
+        self.restarts = 0
+        #: rank carried over from the checkpoint at the last restore.
+        self.restored_rank = 0
+        #: checkpoint journal writes performed by this process.
+        self.checkpoint_writes = 0
+        self._marked_at: Optional[float] = None
+        self._began = False
+
+    @property
+    def marked_at(self) -> Optional[float]:
+        """Sim time MARK happened (restored across restarts), or None."""
+        return self._marked_at
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the registry listener."""
+        """Bind the registry listener; restore decode state if journaled.
+
+        When ``checkpoint_path`` names an existing journal, this process is
+        a supervised respawn of a killed collector: the decoder pool, the
+        measurement window, and the clock epoch are restored before the
+        listener accepts a single reconnecting peer.
+        """
+        if (
+            self.checkpoint_path is not None
+            and self.checkpoint_path.exists()
+        ):
+            self._restore(load_checkpoint(self.checkpoint_path))
         self._listener, self.port = await ports.start_server(
             self._handle_connection, self.host, self._requested_port
         )
+
+    def _restore(self, state: ServerCheckpoint) -> None:
+        """Adopt a checkpoint: decoders, stats, window edge, clock epoch."""
+        if state.seed != self.seed:
+            raise CheckpointError(
+                f"checkpoint was written for seed {state.seed}, this "
+                f"server runs seed {self.seed}"
+            )
+        if state.time_scale != self.clock.time_scale:
+            raise CheckpointError(
+                f"checkpoint time_scale {state.time_scale} != configured "
+                f"{self.clock.time_scale}"
+            )
+        self.restarts = state.restarts + 1
+        restored: Dict[int, SegmentDecoder] = {}
+        rank = 0
+        for snap in state.decoders:
+            decoder = SegmentDecoder.from_snapshot(snap)
+            restored[snap.segment.segment_id] = decoder
+            rank += decoder.rank
+        if rank != state.total_rank:
+            raise CheckpointError(
+                f"restored rank {rank} != checkpointed {state.total_rank}"
+            )
+        self._decoders = restored
+        self.restored_rank = rank
+        self._digests = dict(state.digests)
+        self._completed = set(state.completed)
+        self._next_slot = max(self._next_slot, state.next_slot)
+        self._marked_at = state.marked_at
+        for name in CollectorStats._counter_names():
+            setattr(self.stats, name, int(state.counters.get(name, 0)))
+        self.stats.delay_samples = list(state.delay_samples)
+        down = self.stats.servers_down
+        down.value = state.servers_down["value"]
+        down._last_time = state.servers_down["last_time"]
+        down._integral = state.servers_down["integral"]
+        down._window_start = state.servers_down["window_start"]
+        if state.epoch is not None and not self.clock.started:
+            # loop.time() is CLOCK_MONOTONIC (system-wide on Linux), so the
+            # dead process's epoch maps this process onto the *same*
+            # simulated timeline: no accumulated delay is forgiven.
+            self.clock.start(state.epoch)
+        # Account the kill-to-restore gap as server downtime so outage_time
+        # reflects the real blackout the peers experienced.
+        now = max(self.clock.now(), state.written_at)
+        down.update(state.written_at, 1.0)
+        down.update(now, 0.0)
+        # Re-salt restart-scoped streams: the dead process consumed an
+        # unknown prefix of each, so replaying from the top would reuse
+        # draws. The polluter roster stream is deliberately NOT re-salted —
+        # polluter identities must survive restarts.
+        salt = f":r{self.restarts}"
+        self._select_rng = self._seeds.python("live:server:select" + salt)
+        self._event_rngs = [
+            self._seeds.python(f"live:server{i}:events" + salt)
+            for i in range(self.params.n_servers)
+        ]
+        self._outage_rng = self._seeds.python("live:server:outages" + salt)
+        self._burst_rng = self._seeds.python(BURST_STREAM + salt)
 
     async def wait_for_peers(
         self, count: int, timeout: Optional[float] = None
@@ -151,12 +264,8 @@ class LiveLoggingServer:
 
     async def begin(self, start_delay_wall: float = 0.5) -> None:
         """Broadcast the directory and START, then spawn the pull engine."""
-        directory = {
-            record.slot: [record.host, record.port]
-            for record in self.peers.values()
-        }
         await self.broadcast(
-            {"type": wire.MSG_DIRECTORY, "peers": directory}
+            {"type": wire.MSG_DIRECTORY, "peers": self._directory()}
         )
         if not self.clock.started:
             loop = asyncio.get_running_loop()
@@ -164,6 +273,32 @@ class LiveLoggingServer:
         await self.broadcast(
             {"type": wire.MSG_START, "in": start_delay_wall}
         )
+        self._began = True
+        self._spawn_engine()
+
+    async def resume(self) -> None:
+        """Spawn the pull engine on a restored clock (supervised respawn).
+
+        No START broadcast: the swarm's epoch was fixed by the dead
+        predecessor and restored from the checkpoint; peers re-register on
+        their own schedule and get a RESUME frame as they arrive.
+        """
+        if not self.clock.started:
+            raise RuntimeError(
+                "resume() needs a restored clock epoch; call begin() for "
+                "a fresh swarm"
+            )
+        self._began = True
+        self._spawn_engine()
+
+    def _directory(self) -> Dict[int, List[Any]]:
+        return {
+            record.slot: [record.host, record.port]
+            for record in self.peers.values()
+        }
+
+    def _spawn_engine(self) -> None:
+        """Start the pull loops, fault controllers, and checkpoint loop."""
         spawn = asyncio.create_task
         self._pull_schedules = [
             PoissonSchedule(
@@ -176,6 +311,9 @@ class LiveLoggingServer:
             for i in range(self.params.n_servers)
         ]
         plan = self.netem.plan
+        # process_faults are NOT scheduled here: in the live runtime they
+        # are delivered as real signals by the supervisor; only the
+        # blackhole-style outage channels run in-process.
         if plan.outage_windows or plan.outage_rate > 0.0:
             self._tasks.append(
                 spawn(self._outage_controller(), name="server:outages")
@@ -184,6 +322,13 @@ class LiveLoggingServer:
             self._tasks.append(
                 spawn(self._burst_controller(), name="server:bursts")
             )
+        if self.checkpoint_path is not None:
+            self._tasks.append(
+                spawn(self._checkpoint_loop(), name="server:checkpoint")
+            )
+        self._tasks.append(
+            spawn(self._heartbeat_reaper(), name="server:reaper")
+        )
 
     async def broadcast(self, header: Dict[str, Any]) -> None:
         """Send one control frame to every registered peer."""
@@ -195,8 +340,12 @@ class LiveLoggingServer:
 
     async def mark(self) -> None:
         """Start the measurement window on both sides of the swarm."""
-        self.stats.begin_window(self.clock.now())
+        self._marked_at = self.clock.now()
+        self.stats.begin_window(self._marked_at)
         await self.broadcast({"type": wire.MSG_MARK})
+        # Journal the window edge immediately: a server killed right after
+        # MARK must not restart believing it is still warming up.
+        self.write_checkpoint_now()
 
     async def stop_protocol(self) -> None:
         """Stop the pull engine and tell peers to stop their loops."""
@@ -206,9 +355,80 @@ class LiveLoggingServer:
         self._tasks = []
         await self.broadcast({"type": wire.MSG_STOP})
 
+    # -- checkpointing -------------------------------------------------------
+
+    def _snapshot(self) -> ServerCheckpoint:
+        """Capture the full decode/collection state for the journal."""
+        decoders = tuple(
+            self._decoders[sid].snapshot() for sid in sorted(self._decoders)
+        )
+        down = self.stats.servers_down
+        return ServerCheckpoint(
+            seed=self.seed,
+            restarts=self.restarts,
+            time_scale=self.clock.time_scale,
+            epoch=self.clock.epoch,
+            marked_at=self._marked_at,
+            next_slot=self._next_slot,
+            written_at=self.clock.now(),
+            completed=tuple(sorted(self._completed)),
+            digests=dict(self._digests),
+            counters={
+                name: int(getattr(self.stats, name))
+                for name in CollectorStats._counter_names()
+            },
+            delay_samples=tuple(self.stats.delay_samples),
+            servers_down={
+                "value": down.value,
+                "last_time": down._last_time,
+                "integral": down._integral,
+                "window_start": down._window_start,
+            },
+            total_rank=sum(d.rank for d in self._decoders.values()),
+            decoders=decoders,
+        )
+
+    def write_checkpoint_now(self) -> None:
+        """Write one journal generation (no-op without a checkpoint path)."""
+        if self.checkpoint_path is None:
+            return
+        write_checkpoint(self.checkpoint_path, self._snapshot())
+        self.checkpoint_writes += 1
+
+    async def _checkpoint_loop(self) -> None:
+        """Journal the decode state every ``checkpoint_interval`` wall secs."""
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            self.write_checkpoint_now()
+
+    async def _heartbeat_reaper(self) -> None:
+        """Evict silent peers from the pull candidate set.
+
+        A SIGKILLed or SIGSTOPped peer process cannot send STATUS(empty),
+        so without heartbeats the candidate set would keep feeding dead
+        addresses to the pull loops forever. The record itself stays (its
+        connection teardown deregisters it); only candidacy is revoked, and
+        the next heartbeat or status frame restores it.
+        """
+        interval = HEARTBEAT_TIMEOUT_WALL / 4.0
+        while True:
+            await asyncio.sleep(interval)
+            deadline = asyncio.get_running_loop().time()
+            deadline -= HEARTBEAT_TIMEOUT_WALL
+            for record in list(self.peers.values()):
+                if 0.0 < record.last_seen < deadline:
+                    self.nonempty.discard(record.slot)
+
     async def close(self) -> None:
-        """Full teardown: pull engine, peer connections, listener."""
+        """Full teardown: pull engine, peer connections, listener.
+
+        BYE goes out *before* the handler tasks are cancelled: a bare EOF
+        now means "the server crashed" to a reconnect-capable peer, so a
+        deliberate shutdown must say goodbye explicitly or every peer
+        would sit out its full reconnect deadline.
+        """
         self.draining.set()
+        await self.broadcast({"type": wire.MSG_BYE})
         for task in [*self._tasks, *self._conn_tasks]:
             task.cancel()
         await asyncio.gather(
@@ -248,14 +468,21 @@ class LiveLoggingServer:
                 "slot": record.slot,
                 "seed": self.seed,
                 "time_scale": self.clock.time_scale,
+                "epoch": self.clock.epoch,
                 "params": wire.params_to_wire(self.params),
             })
+            if self._began:
+                await self._welcome_back(record)
             self._peer_joined.set()
             while True:
                 frame = await conn.read()
                 if frame is None or frame.type == wire.MSG_BYE:
                     break
                 self._handle_peer_frame(record, frame)
+        except FrameTruncated:
+            # The peer vanished mid-frame (killed, or the network tore the
+            # stream). Reconnect-and-resume handles it; nothing to log.
+            pass
         except (FrameError, ConnectionError, OSError):
             pass
         except asyncio.CancelledError:
@@ -286,11 +513,55 @@ class LiveLoggingServer:
             slot, str(hello.header["host"]), int(hello.header["port"]), conn
         )
         self.peers[slot] = record
+        resume = hello.header.get("resume")
+        if isinstance(resume, dict):
+            # A reconnecting peer replays its buffer state so the pull
+            # candidate set is correct before its first STATUS edge.
+            if resume.get("nonempty", False):
+                self.nonempty.add(slot)
+            else:
+                self.nonempty.discard(slot)
         return record
+
+    async def _welcome_back(self, record: _PeerRecord) -> None:
+        """Re-integrate a peer that (re)joined a running swarm.
+
+        The newcomer gets the full directory plus a RESUME frame (carrying
+        whether the measurement window is already open); everyone else gets
+        a partial directory update so gossip re-targets the peer's new
+        listen address instead of its dead one.
+        """
+        await record.conn.send(
+            {"type": wire.MSG_DIRECTORY, "peers": self._directory()}
+        )
+        await record.conn.send({
+            "type": wire.MSG_RESUME,
+            "marked": self._marked_at is not None,
+        })
+        update = {
+            "type": wire.MSG_DIRECTORY,
+            "partial": True,
+            "peers": {record.slot: [record.host, record.port]},
+        }
+        for other in list(self.peers.values()):
+            if other is record:
+                continue
+            try:
+                await other.conn.send(update)
+            except (ConnectionError, OSError):
+                pass
+        # The address may have changed; drop any cached pull connection.
+        await self._cache.drop(record.slot)
 
     def _handle_peer_frame(self, record: _PeerRecord, frame: Frame) -> None:
         kind = frame.type
         if kind == wire.MSG_STATUS:
+            if frame.header.get("nonempty", False):
+                self.nonempty.add(record.slot)
+            else:
+                self.nonempty.discard(record.slot)
+        elif kind == wire.MSG_HEARTBEAT:
+            record.last_seen = asyncio.get_running_loop().time()
             if frame.header.get("nonempty", False):
                 self.nonempty.add(record.slot)
             else:
@@ -445,6 +716,10 @@ class LiveLoggingServer:
         plan = self.netem.plan
         if plan.outage_windows:
             for start, end in plan.outage_windows:
+                if end <= self.clock.now():
+                    # Window fully elapsed before this (restarted) process
+                    # came up; the blackout already happened for real.
+                    continue
                 await self.clock.sleep_until(start)
                 await self._enter_outage(end - start)
             return

@@ -170,6 +170,25 @@ class ConnectionCache:
 #: identical polluter set / burst cohort sequence from the same root seed.
 POLLUTER_STREAM = "live:polluters"
 BURST_STREAM = "live:bursts"
+#: Substream the supervisor draws peer-process fault cohorts from, so the
+#: processes SIGKILLed by a given plan are a pure function of the root seed.
+PROCESS_STREAM = "live:process-faults"
+
+
+def sample_process_cohort(
+    rng: random.Random, fraction: float, n_procs: int
+) -> Tuple[int, ...]:
+    """Draw the peer-process cohort one process fault hits.
+
+    Mirrors the :class:`repro.faults.injector.FaultInjector` burst-size
+    formula (at least one process, at most all) so a live ``kill-peers``
+    event and its simulated churn-burst twin remove the same population
+    share.
+    """
+    if n_procs < 1:
+        raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+    count = min(n_procs, max(1, round(fraction * n_procs)))
+    return tuple(rng.sample(range(n_procs), count))
 
 
 class NetemShim:

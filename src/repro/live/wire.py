@@ -48,6 +48,14 @@ MSG_BYE = "bye"
 MSG_STATUS = "status"
 MSG_METRICS = "metrics"
 MSG_METRICS_REPLY = "metrics-reply"
+#: Peer -> server liveness beacon; carries the buffer's empty/non-empty
+#: bit so a restarted server (or a stalled STATUS stream) resynchronizes
+#: its candidate set from heartbeats alone.
+MSG_HEARTBEAT = "heartbeat"
+#: Server -> peer after a mid-window (re)registration: the collection
+#: window is already open — resume the protocol without waiting for a
+#: START broadcast that already happened.
+MSG_RESUME = "resume"
 
 # -- data plane -------------------------------------------------------------
 MSG_OFFER = "offer"
@@ -164,6 +172,11 @@ def params_from_wire(payload: Mapping[str, Any]) -> Parameters:
         windows = faults.get("outage_windows") or ()
         faults["outage_windows"] = tuple(
             (float(start), float(end)) for start, end in windows
+        )
+        process_faults = faults.get("process_faults") or ()
+        faults["process_faults"] = tuple(
+            (str(kind), float(at), float(duration), float(fraction))
+            for kind, at, duration, fraction in process_faults
         )
         data["faults"] = FaultPlan(**faults)
     data.pop("adversary", None)
